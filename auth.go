@@ -1,0 +1,65 @@
+package extra
+
+import (
+	"fmt"
+
+	"repro/internal/authz"
+)
+
+// EnableAuthorization switches on privilege enforcement. Before this is
+// called the database runs in single-user mode (everything allowed), as
+// a freshly initialized system would.
+func (db *DB) EnableAuthorization() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.auth.Enable()
+}
+
+// CreateUser registers a database user (and adds it to the all-users
+// group).
+func (db *DB) CreateUser(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.auth.CreateUser(name)
+}
+
+// CreateGroup registers a user group.
+func (db *DB) CreateGroup(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.auth.CreateGroup(name)
+}
+
+// AddToGroup adds a user to a group.
+func (db *DB) AddToGroup(user, group string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.auth.AddToGroup(user, group)
+}
+
+// SetUser switches the session's current user; subsequent statements run
+// with that user's privileges.
+func (db *DB) SetUser(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.auth.UserExists(name) {
+		return fmt.Errorf("no user %s", name)
+	}
+	db.user = name
+	return nil
+}
+
+// CurrentUser returns the session's user.
+func (db *DB) CurrentUser() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.user
+}
+
+// Grants lists the grants on a database object.
+func (db *DB) Grants(object string) []string {
+	return db.auth.Grants(object)
+}
+
+// AllUsersGroup is the name of the built-in group containing every user.
+const AllUsersGroup = authz.AllUsers

@@ -1,0 +1,208 @@
+// Command excess is an interactive shell for the EXTRA/EXCESS database:
+// a QUEL-style read-eval-print loop over the extra package, with
+// meta-commands for catalog introspection.
+//
+// Usage:
+//
+//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [script.xs ...]
+//
+// With script arguments the files are executed in order and the shell
+// exits; otherwise an interactive prompt reads statements from stdin.
+// Statements may span lines; a line ending in ";" (or a complete single
+// line) executes. Meta-commands:
+//
+//	\types          list schema types
+//	\type NAME      show a type's definition
+//	\vars           list database variables
+//	\adts           list abstract data types
+//	\stats          buffer pool statistics
+//	\explain QUERY  show the optimizer's plan for a retrieve
+//	\optimizer on|off
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	extra "repro"
+)
+
+func main() {
+	file := flag.String("file", "", "back pages with this file instead of memory")
+	pool := flag.Int("pool", 256, "buffer pool size in pages")
+	load := flag.String("load", "", "replay a Dump snapshot before starting")
+	flag.Parse()
+
+	var opts []extra.Option
+	if *file != "" {
+		opts = append(opts, extra.WithFileStore(*file))
+	}
+	opts = append(opts, extra.WithPoolSize(*pool))
+	db, err := extra.Open(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "excess:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *load != "" {
+		if err := db.LoadFile(*load); err != nil {
+			fmt.Fprintln(os.Stderr, "excess: load:", err)
+			os.Exit(1)
+		}
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "excess:", err)
+				os.Exit(1)
+			}
+			if res, err := db.Exec(string(src)); err != nil {
+				fmt.Fprintf(os.Stderr, "excess: %s: %v\n", path, err)
+				os.Exit(1)
+			} else if res != nil {
+				fmt.Print(res)
+			}
+		}
+		return
+	}
+
+	fmt.Println("EXCESS interactive shell — EXTRA data model for EXODUS")
+	fmt.Println(`Type statements (end with ";"), or \help.`)
+	repl(db, os.Stdin)
+}
+
+func repl(db *extra.DB, in *os.File) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("excess> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") || completeStatement(buf.String()) {
+			src := buf.String()
+			buf.Reset()
+			if res, err := db.Exec(src); err != nil {
+				fmt.Println("error:", err)
+			} else if res != nil {
+				fmt.Print(res)
+			} else {
+				fmt.Println("ok")
+			}
+		}
+		prompt()
+	}
+}
+
+// completeStatement applies a cheap heuristic: execute once parentheses
+// and braces balance and the input does not end mid-clause.
+func completeStatement(src string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '{', '[':
+			depth++
+		case ')', '}', ']':
+			depth--
+		}
+	}
+	return depth <= 0 && !inStr
+}
+
+// meta handles backslash commands; it reports false on \quit.
+func meta(db *extra.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\help`, `\h`:
+		fmt.Println(`\types \type NAME \vars \adts \stats \explain QUERY \optimizer on|off \quit`)
+	case `\types`:
+		for _, n := range db.Catalog().TupleTypeNames() {
+			fmt.Println(" ", n)
+		}
+	case `\type`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\type NAME")
+			break
+		}
+		if tt, ok := db.Catalog().TupleType(fields[1]); ok {
+			fmt.Println(tt.DDL())
+		} else {
+			fmt.Println("no such type")
+		}
+	case `\vars`:
+		for _, n := range db.Catalog().VarNames() {
+			if v, ok := db.Catalog().Var(n); ok {
+				fmt.Printf("  %s : %s\n", n, v.Comp.Type)
+			}
+		}
+	case `\adts`:
+		for _, n := range db.Registry().Names() {
+			c, _ := db.Registry().Lookup(n)
+			fmt.Printf("  %s (%s)\n", n, strings.Join(c.FuncNames(), ", "))
+		}
+	case `\explain`:
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`))
+		if q == "" {
+			fmt.Println("usage: \\explain retrieve (...)")
+			break
+		}
+		out, err := db.Explain(q)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case `\stats`:
+		st := db.PoolStats()
+		fmt.Printf("  pool: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
+			st.Hits, st.Misses, st.Evictions, st.HitRate()*100)
+	case `\optimizer`:
+		if len(fields) == 2 && fields[1] == "off" {
+			db.SetOptimizer(extra.OptimizerOptions{NoPushdown: true, NoIndexSelect: true, NoReorder: true})
+			fmt.Println("  optimizer off (naive plans)")
+		} else {
+			db.SetOptimizer(extra.OptimizerOptions{})
+			fmt.Println("  optimizer on")
+		}
+	default:
+		fmt.Println("unknown meta command; try \\help")
+	}
+	return true
+}

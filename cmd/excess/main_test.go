@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	extra "repro"
+)
+
+func TestCompleteStatement(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`retrieve (E.name)`, true},
+		{`retrieve (E.name`, false},
+		{`define type P: ( a: int4`, false},
+		{`define type P: ( a: int4 )`, true},
+		{`append to X (s = "unterminated`, false},
+		{`append to X (s = "ok)")`, true},
+		{`retrieve (x = {1, 2})`, true},
+		{`retrieve (x = {1, 2)`, false}, // unbalanced mix still counts depth
+		{`append (s = "quote \" inside")`, true},
+	}
+	for _, c := range cases {
+		if got := completeStatement(c.src); got != c.want {
+			t.Errorf("completeStatement(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := openTestDB(t)
+	// All meta commands run without touching stdin; \quit returns false.
+	for _, cmd := range []string{
+		`\help`, `\types`, `\type Person`, `\type NoSuch`, `\vars`, `\adts`,
+		`\stats`, `\optimizer off`, `\optimizer on`, `\explain retrieve (1)`,
+		`\explain`, `\type`, `\bogus`,
+	} {
+		if !meta(db, cmd) {
+			t.Errorf("meta(%q) requested exit", cmd)
+		}
+	}
+	if meta(db, `\quit`) || meta(db, `\q`) {
+		t.Error("\\quit did not request exit")
+	}
+}
+
+func openTestDB(t *testing.T) *extra.DB {
+	t.Helper()
+	db, err := extra.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	db.MustExec(`define type Person: ( name: varchar ) create People : { own Person }`)
+	return db
+}

@@ -1,0 +1,550 @@
+// Command extrabench regenerates every experiment in EXPERIMENTS.md: the
+// functional reproductions of the paper's figures (F1–F7) and the
+// performance characterization of its design choices (B1–B10).
+//
+// Usage:
+//
+//	extrabench [-exp all|F1,...,B10] [-reps 20]
+//
+// Each experiment prints the table rows recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	extra "repro"
+	"repro/internal/workload"
+)
+
+var reps = flag.Int("reps", 20, "timing repetitions per measurement")
+
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B10) or all")
+	flag.Parse()
+
+	exps := []experiment{
+		{"F1", "Figure 1: Person/Date schema, instances, first retrieves", figure1},
+		{"F2", "Figure 2: multiple-inheritance lattice", figure2},
+		{"F3", "Figure 3: conflict resolution by renaming", figure3},
+		{"F4", "Figure 4: own / ref / own ref semantics", figure4},
+		{"F5", "Figure 5: retrieval — implicit joins, nested sets, paths", figure5},
+		{"F6", "Figure 6: aggregates, updates, quantification", figure6},
+		{"F7", "Figure 7: Complex ADT dbclass and operators", figure7},
+		{"B1", "implicit join vs explicit join", b1},
+		{"B2", "nested set vs flattened join", b2},
+		{"B3", "index vs heap scan across selectivities", b3},
+		{"B4", "optimizer on vs off", b4},
+		{"B5", "ADT dispatch vs built-in arithmetic", b5},
+		{"B6", "own (embedded) vs ref (chased) access", b6},
+		{"B7", "aggregate partitioning by / whole / over", b7},
+		{"B8", "own copy vs ref share on append", b8},
+		{"B9", "inheritance depth vs query cost", b9},
+		{"B10", "buffer pool working-set cliff", b10},
+	}
+	want := map[string]bool{}
+	all := *expFlag == "all"
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	for _, e := range exps {
+		if !all && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s — %s\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func open() *extra.DB {
+	db, err := extra.Open(extra.WithPoolSize(8192))
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// show runs a query and prints it with its result table.
+func show(db *extra.DB, q string) error {
+	res, err := db.Query(q)
+	if err != nil {
+		return fmt.Errorf("%s: %w", q, err)
+	}
+	fmt.Println("  " + q)
+	for _, line := range strings.Split(strings.TrimRight(res.String(), "\n"), "\n") {
+		fmt.Println("    " + line)
+	}
+	return nil
+}
+
+// timeQuery reports the median wall time of a query over reps runs.
+func timeQuery(db *extra.DB, q string) (time.Duration, int, error) {
+	var durs []time.Duration
+	rows := 0
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: %w", q, err)
+		}
+		durs = append(durs, time.Since(start))
+		rows = len(res.Rows)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2], rows, nil
+}
+
+func row(cols ...any) {
+	fmt.Print("  ")
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-24v", c)
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+
+func figure1() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type Person:
+		  ( name: char[20], ssnum: int4, birthday: Date, kids: { own ref Person } )
+		define type Employee inherits Person: ( salary: int4 )
+		create Employees : { own Employee }
+		create StarEmployee : ref Employee
+		create TopTen : [10] ref Employee
+		create Today : Date
+		set Today = date("12/07/1987")
+		append to Employees (name = "Ann", ssnum = 1, salary = 90, birthday = date("01/15/1955"))
+		append to Employees (name = "Ben", ssnum = 2, salary = 70, birthday = date("03/02/1960"))
+		set StarEmployee = E from E in Employees where E.name = "Ann"
+		set TopTen[1] = E from E in Employees where E.name = "Ann"
+	`)
+	for _, q := range []string{
+		`retrieve (Today)`,
+		`retrieve (StarEmployee.name, StarEmployee.salary)`,
+		`retrieve (TopTen[1].name, TopTen[1].salary)`,
+		`retrieve (age_days = Today - StarEmployee.birthday)`,
+	} {
+		if err := show(db, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figure2() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type Person: ( name: varchar, age: int4 )
+		define type Employee inherits Person: ( salary: int4 )
+		define type Student inherits Person: ( gpa: float8 )
+		define type StudentEmp inherits Employee, Student: ( hours: int4 )
+		create StudentEmps : { own StudentEmp }
+		append to StudentEmps (name = "Pat", age = 22, salary = 10, gpa = 3.5, hours = 20)
+	`)
+	tt, _ := db.Catalog().TupleType("StudentEmp")
+	fmt.Println("  StudentEmp attributes (inherited along both lattice paths):")
+	for _, a := range tt.Attrs() {
+		fmt.Printf("    %-8s from %s\n", a.Name, tt.Origin(a.Name))
+	}
+	return show(db, `retrieve (S.name, S.gpa, S.salary) from S in StudentEmps`)
+}
+
+func figure3() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type Person: ( name: varchar )
+		define type Department: ( dname: varchar )
+		define type School: ( sname: varchar )
+		define type Employee inherits Person: ( dept: ref Department )
+		define type Student inherits Person: ( dept: ref School )
+	`)
+	_, err := db.Exec(`define type StudentEmp inherits Employee, Student: ( hours: int4 )`)
+	fmt.Printf("  unresolved conflict rejected: %v\n", err)
+	db.MustExec(`define type StudentEmp inherits Employee, Student with dept renamed school_dept: ( hours: int4 )`)
+	tt, _ := db.Catalog().TupleType("StudentEmp")
+	fmt.Printf("  resolved with rename: dept from %s, school_dept from %s\n",
+		tt.Origin("dept"), tt.Origin("school_dept"))
+	return nil
+}
+
+func figure4() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type Child: ( cname: varchar )
+		define type CompParent: ( pname: varchar, kids: { own ref Child } )
+		create CompParents : { own CompParent }
+		append to CompParents (pname = "c1")
+		append to CompParents (pname = "c2")
+		append to P.kids (cname = "kid") from P in CompParents where P.pname = "c1"
+	`)
+	_, err := db.Exec(`append to P.kids (K) from P in CompParents, K in CompParents.kids where P.pname = "c2"`)
+	fmt.Printf("  composite exclusivity enforced: %v\n", err)
+	db.MustExec(`delete P from P in CompParents where P.pname = "c1"`)
+	if err := show(db, `retrieve (n = count(CompParents.kids))`); err != nil {
+		return err
+	}
+	fmt.Println("  (owned children destroyed with their parent)")
+	return nil
+}
+
+func loadSmallCompany(db *extra.DB) {
+	if _, err := workload.Load(db, workload.Params{Departments: 3, Employees: 12, MaxKids: 2, Floors: 2, MaxSalary: 100, Seed: 42}); err != nil {
+		panic(err)
+	}
+}
+
+func figure5() error {
+	db := open()
+	defer db.Close()
+	loadSmallCompany(db)
+	for _, q := range []string{
+		`retrieve (E.name, E.salary) from E in Employees where E.dept.floor = 2`,
+		`retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2`,
+		`retrieve (E.name, D.dname) from E in Employees, D in Departments where E.dept is D and E.salary > 80`,
+	} {
+		if err := show(db, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figure6() error {
+	db := open()
+	defer db.Close()
+	loadSmallCompany(db)
+	db.MustExec(`range of AE is all Employees`)
+	for _, q := range []string{
+		`retrieve (total = sum(Employees.salary))`,
+		`retrieve (f = E.dept.floor, a = avg(E.salary by E.dept.floor)) from E in Employees`,
+		`retrieve (distinct_depts = count(E.dept.dname over E.dept.dname)) from E in Employees`,
+		`retrieve (D.dname) from D in Departments where AE.dept isnot D or AE.salary > 10`,
+	} {
+		if err := show(db, q); err != nil {
+			return err
+		}
+	}
+	db.MustExec(`replace E (salary = E.salary + 10) from E in Employees where E.dept.floor = 2`)
+	return show(db, `retrieve (raised_total = sum(Employees.salary))`)
+}
+
+func figure7() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type CnumPair: ( val1: Complex, val2: Complex )
+		create Pairs : { own CnumPair }
+		append to Pairs (val1 = complex(1.0, 2.0), val2 = complex(3.0, -1.0))
+	`)
+	for _, q := range []string{
+		`retrieve (s = P.val1 + P.val2) from P in Pairs`,
+		`retrieve (s = Add(P.val1, P.val2)) from P in Pairs`,
+		`retrieve (m = Magnitude(P.val1 * P.val2)) from P in Pairs`,
+	} {
+		if err := show(db, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+
+func b1() error {
+	db, _, err := workload.New(workload.Params{Departments: 20, Employees: 2000, Seed: 1}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	row("variant", "median", "rows")
+	d, n, err := timeQuery(db, `retrieve (E.name) from E in Employees where E.dept.floor = 2`)
+	if err != nil {
+		return err
+	}
+	row("implicit (ref chase)", d, n)
+	d, n, err = timeQuery(db, `retrieve (E.name) from E in Employees, D in Departments where E.dept is D and D.floor = 2`)
+	if err != nil {
+		return err
+	}
+	row("explicit join", d, n)
+	return nil
+}
+
+func b2() error {
+	db, _, err := workload.New(workload.Params{Departments: 10, Employees: 500, MaxKids: 4, Seed: 2}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.MustExec(`
+		define type ChildRow: ( cname: varchar, parent: ref Employee )
+		create Children : { own ChildRow }
+		append to Children (cname = K.name, parent = E) from E in Employees, K in E.kids
+	`)
+	row("variant", "median", "rows")
+	d, n, err := timeQuery(db, `retrieve (E.name, n = count(E.kids)) from E in Employees`)
+	if err != nil {
+		return err
+	}
+	row("nested own-ref set", d, n)
+	d, n, err = timeQuery(db, `retrieve (E.name) from E in Employees, K in Children where K.parent is E`)
+	if err != nil {
+		return err
+	}
+	row("flattened join", d, n)
+	return nil
+}
+
+func b3() error {
+	db, _, err := workload.New(workload.Params{Departments: 10, Employees: 5000, MaxSalary: 100000, Seed: 3}, 16384)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	row("selectivity", "heap scan", "index probe", "rows")
+	for _, cut := range []int{1000, 10000, 50000, 100001} {
+		q := fmt.Sprintf(`retrieve (E.name) from E in Employees where E.salary < %d`, cut)
+		db.SetOptimizer(extra.OptimizerOptions{NoIndexSelect: true})
+		scan, n, err := timeQuery(db, q)
+		if err != nil {
+			return err
+		}
+		db.SetOptimizer(extra.OptimizerOptions{})
+		if _, ok := db.Catalog().Index("emp_sal"); !ok {
+			db.MustExec(`define index emp_sal on Employees (salary)`)
+		}
+		probe, _, err := timeQuery(db, q)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("%d%%", cut/1000), scan, probe, n)
+	}
+	return nil
+}
+
+func b4() error {
+	db, _, err := workload.New(workload.Params{Departments: 50, Employees: 2000, MaxSalary: 100000, Seed: 4}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.MustExec(`define index emp_sal on Employees (salary)`)
+	q := `retrieve (E.name, D.dname) from E in Employees, D in Departments where E.salary < 1000 and E.dept is D and D.floor = 2`
+	row("plan", "median", "rows")
+	d, n, err := timeQuery(db, q)
+	if err != nil {
+		return err
+	}
+	row("optimized", d, n)
+	db.SetOptimizer(extra.OptimizerOptions{NoPushdown: true, NoIndexSelect: true, NoReorder: true})
+	d, _, err = timeQuery(db, q)
+	if err != nil {
+		return err
+	}
+	row("naive", d, n)
+	return nil
+}
+
+func b5() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type CRow: ( a: Complex, b: Complex )
+		define type FRow: ( ax: float8, bx: float8 )
+		create CRows : { own CRow }
+		create FRows : { own FRow }
+	`)
+	for i := 0; i < 500; i++ {
+		db.MustExec(fmt.Sprintf(`append to CRows (a = complex(%d.0, 1.0), b = complex(2.0, %d.0))`, i, i))
+		db.MustExec(fmt.Sprintf(`append to FRows (ax = %d.0, bx = 2.0)`, i))
+	}
+	row("variant", "median")
+	d, _, err := timeQuery(db, `retrieve (s = R.a + R.b) from R in CRows`)
+	if err != nil {
+		return err
+	}
+	row("Complex ADT +", d)
+	d, _, err = timeQuery(db, `retrieve (s = R.ax + R.bx) from R in FRows`)
+	if err != nil {
+		return err
+	}
+	row("float8 +", d)
+	return nil
+}
+
+func b6() error {
+	db := open()
+	defer db.Close()
+	db.MustExec(`
+		define type DeptV: ( dname: varchar, floor: int4 )
+		define type EmpOwn: ( name: varchar, dept: own DeptV )
+		define type EmpRef: ( name: varchar, dept: ref DeptV )
+		create DeptVs : { own DeptV }
+		create EmpsOwn : { own EmpOwn }
+		create EmpsRef : { own EmpRef }
+	`)
+	var depts []extra.Obj
+	for i := 0; i < 20; i++ {
+		d, err := db.Insert("DeptVs", extra.Attrs{"dname": fmt.Sprintf("d%d", i), "floor": i%5 + 1})
+		if err != nil {
+			return err
+		}
+		depts = append(depts, d)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := db.Insert("EmpsOwn", extra.Attrs{"name": fmt.Sprintf("e%d", i),
+			"dept": extra.Attrs{"dname": fmt.Sprintf("d%d", i%20), "floor": i%5 + 1}}); err != nil {
+			return err
+		}
+		if _, err := db.Insert("EmpsRef", extra.Attrs{"name": fmt.Sprintf("e%d", i), "dept": depts[i%20]}); err != nil {
+			return err
+		}
+	}
+	row("variant", "median", "rows")
+	d, n, err := timeQuery(db, `retrieve (E.name) from E in EmpsOwn where E.dept.floor = 2`)
+	if err != nil {
+		return err
+	}
+	row("own (embedded)", d, n)
+	d, n, err = timeQuery(db, `retrieve (E.name) from E in EmpsRef where E.dept.floor = 2`)
+	if err != nil {
+		return err
+	}
+	row("ref (chased)", d, n)
+	return nil
+}
+
+func b7() error {
+	db, _, err := workload.New(workload.Params{Departments: 20, Employees: 2000, Seed: 7}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	row("aggregate", "median", "rows")
+	for _, c := range []struct{ label, q string }{
+		{"by floor", `retrieve (f = E.dept.floor, a = avg(E.salary by E.dept.floor)) from E in Employees`},
+		{"whole extent", `retrieve (a = avg(Employees.salary))`},
+		{"over dedup", `retrieve (n = count(E.dept.dname over E.dept.dname)) from E in Employees`},
+	} {
+		d, n, err := timeQuery(db, c.q)
+		if err != nil {
+			return err
+		}
+		row(c.label, d, n)
+	}
+	return nil
+}
+
+func b8() error {
+	db, _, err := workload.New(workload.Params{Departments: 5, Employees: 200, MaxKids: 8, Seed: 8}, 16384)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.MustExec(`create Picked : { ref Employee }`)
+	db.MustExec(`create Copies : { own Employee }`)
+	row("variant", "median (append of ~100 objects)")
+	for _, c := range []struct{ label, q string }{
+		{"own (deep copy)", `append to Copies (E) from E in Employees where E.salary > 100000`},
+		{"ref (share)", `append to Picked (E) from E in Employees where E.salary > 100000`},
+	} {
+		var durs []time.Duration
+		for i := 0; i < *reps; i++ {
+			start := time.Now()
+			if _, err := db.Exec(c.q); err != nil {
+				return err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		row(c.label, durs[len(durs)/2])
+	}
+	return nil
+}
+
+func b9() error {
+	row("lattice depth", "median")
+	for _, depth := range []int{1, 4, 16} {
+		db := open()
+		db.MustExec(`define type L0: ( base: int4 )`)
+		for i := 1; i <= depth; i++ {
+			db.MustExec(fmt.Sprintf(`define type L%d inherits L%d: ( f%d: int4 )`, i, i-1, i))
+		}
+		db.MustExec(fmt.Sprintf(`create Leafs : { own L%d }`, depth))
+		for i := 0; i < 500; i++ {
+			if _, err := db.Insert("Leafs", extra.Attrs{"base": i}); err != nil {
+				return err
+			}
+		}
+		d, _, err := timeQuery(db, `retrieve (E.base) from E in Leafs where E.base < 50`)
+		if err != nil {
+			return err
+		}
+		row(depth, d)
+		db.Close()
+	}
+	return nil
+}
+
+func b10() error {
+	row("pool pages", "medium", "median scan", "hit rate")
+	for _, medium := range []string{"memory", "file"} {
+		for _, pages := range []int{16, 64, 256, 8192} {
+			var opts []extra.Option
+			if medium == "file" {
+				f, err := os.CreateTemp("", "extra-pages-*.db")
+				if err != nil {
+					return err
+				}
+				path := f.Name()
+				f.Close()
+				defer os.Remove(path)
+				opts = append(opts, extra.WithFileStore(path))
+			}
+			opts = append(opts, extra.WithPoolSize(pages))
+			db, err := extra.Open(opts...)
+			if err != nil {
+				return err
+			}
+			if _, err := workload.Load(db, workload.Params{Departments: 10, Employees: 8000, MaxKids: 2, Seed: 10}); err != nil {
+				db.Close()
+				return err
+			}
+			db.ResetPoolStats()
+			d, _, err := timeQuery(db, `retrieve (n = count(Employees))`)
+			if err != nil {
+				db.Close()
+				return err
+			}
+			st := db.PoolStats()
+			row(pages, medium, d, fmt.Sprintf("%.1f%%", st.HitRate()*100))
+			db.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command extraload generates and loads the synthetic company workload
+// into an EXTRA/EXCESS database, then prints summary statistics. It is
+// the loader half of the benchmark harness; cmd/extrabench times the
+// queries.
+//
+// Usage:
+//
+//	extraload [-emps 5000] [-depts 25] [-kids 3] [-floors 5] [-seed 1]
+//	          [-file pages.db] [-pool 4096] [-verify] [-dump snapshot.xd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	extra "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	emps := flag.Int("emps", 5000, "number of employees")
+	depts := flag.Int("depts", 25, "number of departments")
+	kids := flag.Int("kids", 3, "max kids per employee")
+	floors := flag.Int("floors", 5, "number of floors")
+	seed := flag.Int64("seed", 1, "random seed")
+	file := flag.String("file", "", "back pages with this file")
+	pool := flag.Int("pool", 4096, "buffer pool pages")
+	verify := flag.Bool("verify", false, "run consistency queries after loading")
+	dump := flag.String("dump", "", "write a snapshot of the loaded database to this file")
+	flag.Parse()
+
+	var opts []extra.Option
+	if *file != "" {
+		opts = append(opts, extra.WithFileStore(*file))
+	}
+	opts = append(opts, extra.WithPoolSize(*pool))
+	db, err := extra.Open(opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer db.Close()
+
+	start := time.Now()
+	_, err = workload.Load(db, workload.Params{
+		Departments: *depts,
+		Employees:   *emps,
+		MaxKids:     *kids,
+		Floors:      *floors,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	res := db.MustQuery(`retrieve (emps = count(Employees), kids = count(Employees.kids), depts = count(Departments))`)
+	fmt.Printf("loaded in %v\n", elapsed)
+	fmt.Print(res)
+	st := db.PoolStats()
+	fmt.Printf("pool: hits=%d misses=%d evictions=%d\n", st.Hits, st.Misses, st.Evictions)
+
+	if *dump != "" {
+		if err := db.DumpFile(*dump); err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot written to %s\n", *dump)
+	}
+	if *verify {
+		checks := []struct{ name, q, want string }{
+			{"every employee has a department",
+				`retrieve (n = count(E.name)) from E in Employees where E.dept is null`, "0"},
+			{"salaries are non-negative",
+				`retrieve (n = count(E.name)) from E in Employees where E.salary < 0`, "0"},
+			{"kid ages are in range",
+				`retrieve (n = count(K.name)) from K in Employees.kids where K.age < 1 or K.age > 17`, "0"},
+		}
+		for _, c := range checks {
+			res, err := db.Query(c.q)
+			if err != nil {
+				fail(err)
+			}
+			got := res.Rows[0][0].String()
+			status := "ok"
+			if got != c.want {
+				status = "FAIL (" + got + ")"
+			}
+			fmt.Printf("verify: %-40s %s\n", c.name, status)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "extraload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package extra
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInsertConversions covers the Go-native → EXTRA value conversions of
+// the bulk-load API: numbers shaped to declared widths, strings, bools,
+// refs, nested tuples, sets and fixed arrays.
+func TestInsertConversions(t *testing.T) {
+	db := mustOpen(t)
+	db.MustExec(`
+		define enum Level : ( lo, hi )
+		define type Sub: ( sname: varchar )
+		define type Rec:
+		  ( i1: int1, i2: int2, i4: int4,
+		    f4: float4, f8: float8,
+		    s: varchar, c: char[4], b: bool,
+		    part: own Sub,
+		    bits: { int4 },
+		    grid: [2] float8,
+		    peer: ref Rec,
+		    subs: { own ref Sub } )
+		create Recs : { own Rec }
+	`)
+	first, err := db.Insert("Recs", Attrs{"s": "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Insert("Recs", Attrs{
+		"i1":   int64(7),
+		"i2":   1000,
+		"i4":   123456,
+		"f4":   1.5,
+		"f8":   2, // Go int into a float slot
+		"s":    "str",
+		"c":    "ab", // padded to char[4]
+		"b":    true,
+		"part": Attrs{"sname": "embedded"},
+		"bits": []any{1, 2, 3},
+		"grid": []any{0.5, 1.5},
+		"peer": first,
+		"subs": []any{Attrs{"sname": "owned"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustQuery(`
+		retrieve (R.i1, R.i2, R.f8, R.c, R.part.sname, R.grid[2], R.peer.s, n = count(R.subs))
+		from R in Recs where R.s = "str"`)
+	row := res.Rows[0]
+	want := []string{"7", "1000", "2", `"ab  "`, `"embedded"`, "1.5", `"first"`, "1"}
+	for i, w := range want {
+		if row[i].String() != w {
+			t.Errorf("col %d = %s, want %s", i, row[i], w)
+		}
+	}
+	// Range violations surface from internalization.
+	if _, err := db.Insert("Recs", Attrs{"i1": 300}); err == nil ||
+		!strings.Contains(err.Error(), "range") {
+		t.Fatalf("int1 overflow accepted: %v", err)
+	}
+	// Nested Attrs on a non-tuple slot is rejected.
+	if _, err := db.Insert("Recs", Attrs{"i4": Attrs{"x": 1}}); err == nil {
+		t.Fatal("attrs into scalar slot accepted")
+	}
+	// Slice into a non-collection slot is rejected.
+	if _, err := db.Insert("Recs", Attrs{"i4": []any{1}}); err == nil {
+		t.Fatal("slice into scalar slot accepted")
+	}
+	// Obj handles render and validate.
+	if !first.Valid() || first.String() == "" {
+		t.Error("Obj accessors")
+	}
+	if (Obj{}).Valid() {
+		t.Error("zero Obj valid")
+	}
+	// The consistency checker agrees with all of this.
+	if bad := db.CheckConsistency(); len(bad) != 0 {
+		t.Fatalf("fsck: %v", bad)
+	}
+}
+
+// TestDumpLoadWithADTs: ADT-valued attributes (Date, Complex) survive the
+// snapshot round trip byte-exactly.
+func TestDumpLoadWithADTs(t *testing.T) {
+	db := mustOpen(t)
+	db.MustExec(`
+		define type Meas: ( when: Date, z: Complex )
+		create Meass : { own Meas }
+		append to Meass (when = date("12/07/1987"), z = complex(1.5, -2.0))
+	`)
+	var buf strings.Builder
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpen(t)
+	if err := db2.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	res := db2.MustQuery(`retrieve (M.when, y = year(M.when), M.z) from M in Meass`)
+	row := res.Rows[0]
+	if row[0].String() != "12/07/1987" || row[1].String() != "1987" || row[2].String() != "1.5-2i" {
+		t.Fatalf("ADT round trip: %v", row)
+	}
+}

@@ -1,0 +1,328 @@
+package extra
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/excess/ast"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/types"
+)
+
+// Dump writes a snapshot of the database — schema DDL, every object with
+// its identity and ownership, element-set memberships, variable values,
+// and index definitions — as a line-oriented text stream that Load can
+// replay into a fresh database. Authorization state (users, groups,
+// grants) is session configuration and is not dumped.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#extra-dump v1")
+
+	// Schema: enums, tuple types (dependency order), creates, functions,
+	// procedures. Indexes come after the data so restore backfills them.
+	fmt.Fprintln(bw, "--ddl")
+	for _, name := range db.cat.EnumNames() {
+		e, _ := db.cat.EnumType(name)
+		fmt.Fprintf(bw, "define enum %s : ( %s )\n", e.Name, strings.Join(e.Labels, ", "))
+	}
+	for _, tt := range db.typesInDependencyOrder() {
+		fmt.Fprintln(bw, strings.ReplaceAll(tt.DDL(), "\n", " "))
+	}
+	for _, name := range db.cat.VarNames() {
+		v, _ := db.cat.Var(name)
+		fmt.Fprintf(bw, "create %s : %s", v.Name, v.Comp.String())
+		for _, ix := range db.cat.IndexesOn(name) {
+			if len(ix.KeyPaths) == 0 {
+				continue
+			}
+			attrs := make([]string, len(ix.KeyPaths))
+			for i, p := range ix.KeyPaths {
+				attrs[i] = strings.Join(p, ".")
+			}
+			fmt.Fprintf(bw, " key (%s)", strings.Join(attrs, ", "))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, name := range db.cat.FunctionNames() {
+		for _, fn := range db.cat.Functions(name) {
+			fmt.Fprintln(bw, renderFunction(fn))
+		}
+	}
+	for _, name := range db.cat.ProcedureNames() {
+		p, _ := db.cat.Procedure(name)
+		fmt.Fprintln(bw, renderProcedure(p))
+	}
+
+	fmt.Fprintln(bw, "--data")
+	objs, err := db.store.ExportObjects()
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		ext := o.Extent
+		if ext == "" {
+			ext = "-"
+		}
+		fmt.Fprintf(bw, "OBJ %s %d %d %s\n", ext, o.OID, o.Owner, hex.EncodeToString(o.Data))
+	}
+	for _, name := range db.cat.VarNames() {
+		v, _ := db.cat.Var(name)
+		switch {
+		case v.IsObjectSet():
+			// objects dumped above
+		case v.IsRefSet() || v.IsValueSet():
+			elems, err := db.store.ExportElems(name)
+			if err != nil {
+				return err
+			}
+			for _, e := range elems {
+				fmt.Fprintf(bw, "ELEM %s %s\n", name, hex.EncodeToString(e))
+			}
+		default:
+			data, err := db.store.ExportVar(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(bw, "VAR %s %s\n", name, hex.EncodeToString(data))
+		}
+	}
+
+	fmt.Fprintln(bw, "--indexes")
+	for _, name := range db.cat.IndexNames() {
+		ix, _ := db.cat.Index(name)
+		if len(ix.KeyPaths) > 0 {
+			continue // key constraints are dumped with their create statement
+		}
+		uq := ""
+		if ix.Unique {
+			uq = "unique "
+		}
+		fmt.Fprintf(bw, "define %sindex %s on %s (%s)\n", uq, ix.Name, ix.Extent, strings.Join(ix.Path, "."))
+	}
+	fmt.Fprintln(bw, "--end")
+	return bw.Flush()
+}
+
+// DumpFile writes a snapshot to a file.
+func (db *DB) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load replays a Dump stream into this database, which must be freshly
+// opened (empty catalog). Objects keep their identities; references
+// across extents therefore survive the round trip.
+func (db *DB) Load(r io.Reader) error {
+	if len(db.cat.VarNames()) != 0 || len(db.cat.TupleTypeNames()) != 0 {
+		return fmt.Errorf("Load requires a fresh database")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "--"):
+			section = line
+			continue
+		}
+		var err error
+		switch section {
+		case "--ddl", "--indexes":
+			_, err = db.Exec(line)
+		case "--data":
+			err = db.loadDataLine(line)
+		default:
+			err = fmt.Errorf("content outside a section")
+		}
+		if err != nil {
+			return fmt.Errorf("dump line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// LoadFile replays a snapshot file.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Load(f)
+}
+
+func (db *DB) loadDataLine(line string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fields := strings.SplitN(line, " ", 5)
+	switch fields[0] {
+	case "OBJ":
+		if len(fields) != 5 {
+			return fmt.Errorf("malformed OBJ line")
+		}
+		ext := fields[1]
+		if ext == "-" {
+			ext = ""
+		}
+		id, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		owner, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return err
+		}
+		data, err := hex.DecodeString(fields[4])
+		if err != nil {
+			return err
+		}
+		return db.store.RestoreObject(object.ExportObject{
+			Extent: ext, OID: oid.OID(id), Owner: oid.OID(owner), Data: data,
+		})
+	case "ELEM":
+		if len(fields) != 3 {
+			return fmt.Errorf("malformed ELEM line")
+		}
+		data, err := hex.DecodeString(fields[2])
+		if err != nil {
+			return err
+		}
+		return db.store.RestoreElem(fields[1], data)
+	case "VAR":
+		if len(fields) != 3 {
+			return fmt.Errorf("malformed VAR line")
+		}
+		data, err := hex.DecodeString(fields[2])
+		if err != nil {
+			return err
+		}
+		return db.store.RestoreVar(fields[1], data)
+	}
+	return fmt.Errorf("unknown data record %q", fields[0])
+}
+
+// typesInDependencyOrder sorts schema types so that supertypes and
+// attribute-referenced types precede their dependents.
+func (db *DB) typesInDependencyOrder() []*types.TupleType {
+	names := db.cat.TupleTypeNames()
+	placed := map[string]bool{}
+	var out []*types.TupleType
+	var place func(tt *types.TupleType)
+	place = func(tt *types.TupleType) {
+		if placed[tt.Name] {
+			return
+		}
+		placed[tt.Name] = true // mark first: self-references are fine
+		for _, s := range tt.Supers {
+			place(s.Type)
+		}
+		for _, a := range tt.Attrs() {
+			for _, dep := range tupleDeps(a.Comp.Type) {
+				if dep.Name != tt.Name {
+					place(dep)
+				}
+			}
+		}
+		out = append(out, tt)
+	}
+	for _, n := range names {
+		if tt, ok := db.cat.TupleType(n); ok {
+			place(tt)
+		}
+	}
+	return out
+}
+
+func tupleDeps(t types.Type) []*types.TupleType {
+	switch x := t.(type) {
+	case *types.TupleType:
+		return []*types.TupleType{x}
+	case *types.Ref:
+		return []*types.TupleType{x.Target}
+	case *types.Set:
+		return tupleDeps(x.Elem.Type)
+	case *types.Array:
+		return tupleDeps(x.Elem.Type)
+	}
+	return nil
+}
+
+// renderFunction prints a function definition back to DDL.
+func renderFunction(fn *catalog.Function) string {
+	var b strings.Builder
+	b.WriteString("define ")
+	if fn.Late {
+		b.WriteString("late ")
+	}
+	b.WriteString("function " + fn.Name + " (")
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name + ": " + p.Type.String())
+	}
+	b.WriteString(") returns " + fn.Returns.String())
+	if !fn.HasBody() {
+		return "declare" + strings.TrimPrefix(b.String(), "define")
+	}
+	b.WriteString(" as ")
+	if fn.Query != nil {
+		b.WriteString(ast.Print(fn.Query))
+	} else {
+		b.WriteString("(")
+		var eb strings.Builder
+		printExprTo(&eb, fn.Expr)
+		b.WriteString(eb.String())
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// printExprTo renders an expression via the AST printer (wrapped in a
+// throwaway retrieve to reuse Print).
+func printExprTo(b *strings.Builder, e ast.Expr) {
+	s := ast.Print(&ast.Retrieve{Targets: []ast.Target{{Expr: e}}})
+	s = strings.TrimPrefix(s, "retrieve (")
+	s = strings.TrimSuffix(s, ")")
+	b.WriteString(s)
+}
+
+func renderProcedure(p *catalog.Procedure) string {
+	var b strings.Builder
+	b.WriteString("define procedure " + p.Name + " (")
+	for i, prm := range p.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(prm.Name + ": " + prm.Type.String())
+	}
+	b.WriteString(") as ")
+	for i, st := range p.Body {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(ast.Print(st))
+	}
+	return b.String()
+}

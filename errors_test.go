@@ -1,0 +1,168 @@
+package extra
+
+import (
+	"strings"
+	"testing"
+)
+
+// wantExecErr asserts Exec fails mentioning frag.
+func wantExecErr(t *testing.T, db *DB, src, frag string) {
+	t.Helper()
+	_, err := db.Exec(src)
+	if err == nil {
+		t.Fatalf("%q: expected error", src)
+	}
+	if frag != "" && !strings.Contains(err.Error(), frag) {
+		t.Fatalf("%q: error %q does not mention %q", src, err, frag)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+
+	wantExecErr(t, db, `retrieve (x = 1 / 0)`, "division by zero")
+	wantExecErr(t, db, `retrieve (x = 1 % 0) from E in Employees`, "division by zero")
+
+	// set must bind exactly one row.
+	db.MustExec(`create Star : ref Employee`)
+	wantExecErr(t, db, `set Star = E from E in Employees`, "more than one")
+	wantExecErr(t, db, `set Star = E from E in Employees where E.salary > 10000`, "no binding")
+
+	// Fixed arrays reject out-of-bounds assignment.
+	db.MustExec(`create Top : [2] ref Employee`)
+	wantExecErr(t, db, `set Top[3] = E from E in Employees where E.name = "Ann"`, "out of bounds")
+
+	// Recursive derived data trips the depth guard instead of hanging.
+	db.MustExec(`define function Loop (E: Employee) returns int4 as (Loop(E))`)
+	wantExecErr(t, db, `retrieve (Loop(E)) from E in Employees where E.name = "Ann"`, "depth")
+}
+
+func TestStatementErrors(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+
+	wantExecErr(t, db, `create Employees : { own Employee }`, "already in use")
+	wantExecErr(t, db, `drop Nothing`, "no database variable")
+	wantExecErr(t, db, `define type Employee: ( x: int4 )`, "already in use")
+	wantExecErr(t, db, `define index ix on Nothing (x)`, "not an object-set extent")
+	wantExecErr(t, db, `range of X is Nothing`, "unknown")
+	wantExecErr(t, db, `execute Ghost (1)`, "unknown procedure")
+	wantExecErr(t, db, `append to Employees (name = 7)`, "not assignable")
+
+	// Duplicate function on the same receiver.
+	db.MustExec(`define function F (E: Employee) returns int4 as (1)`)
+	wantExecErr(t, db, `define function F (E: Employee) returns int4 as (2)`, "already defined")
+
+	// Query() rejects non-retrieves; Exec after Close fails.
+	if _, err := db.Query(`delete E from E in Employees`); err == nil {
+		t.Fatal("Query accepted a delete")
+	}
+	db2, _ := Open()
+	db2.Close()
+	if _, err := db2.Exec(`retrieve (1)`); err == nil {
+		t.Fatal("Exec on closed database accepted")
+	}
+}
+
+func TestProcedureBodyErrors(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	// A body statement referencing a dropped extent fails at execution
+	// (stored-command late binding), with the procedure named.
+	db.MustExec(`
+		create Temp : { own Employee }
+		define procedure UseTemp (n: int4) as append to Temp (name = "x", salary = n)
+	`)
+	db.MustExec(`execute UseTemp (1)`)
+	db.MustExec(`drop Temp`)
+	_, err := db.Exec(`execute UseTemp (2)`)
+	if err == nil || !strings.Contains(err.Error(), "UseTemp") {
+		t.Fatalf("stale procedure body: %v", err)
+	}
+}
+
+func TestInsertAPIErrors(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	if _, err := db.Insert("Nothing", Attrs{}); err == nil {
+		t.Fatal("Insert into missing extent accepted")
+	}
+	if _, err := db.Insert("Employees", Attrs{"bogus": 1}); err == nil {
+		t.Fatal("Insert with unknown attribute accepted")
+	}
+	if _, err := db.Insert("Employees", Attrs{"name": struct{}{}}); err == nil {
+		t.Fatal("Insert with unsupported Go type accepted")
+	}
+	// SetRef validates its attribute and object.
+	e, err := db.Insert("Employees", Attrs{"name": "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetRef(e, "bogus", Obj{}); err == nil {
+		t.Fatal("SetRef with unknown attribute accepted")
+	}
+	d, _ := db.Insert("Departments", Attrs{"dname": "X", "floor": 1})
+	if err := db.SetRef(e, "dept", d); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustQuery(`retrieve (E.dept.dname) from E in Employees where E.name = "T"`)
+	if trimQ(res.Rows[0][0].String()) != "X" {
+		t.Fatalf("SetRef wiring: %v", res)
+	}
+	// Clearing a ref with an invalid Obj stores null.
+	if err := db.SetRef(e, "dept", Obj{}); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustQuery(`retrieve (E.name) from E in Employees where E.name = "T" and E.dept is null`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("SetRef null: %v", res)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 25; j++ {
+				if _, err := db.Query(`retrieve (E.name) from E in Employees where E.dept.floor = 2`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRefSetAppendForms(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	db.MustExec(`create Wanted : { ref Employee }`)
+	// Constructing a new object directly into a reference set is
+	// rejected: references need an existing referent.
+	wantExecErr(t, db, `append to Wanted (name = "ghost", salary = 1)`, "references")
+	// Positional membership works.
+	db.MustExec(`append to Wanted (E) from E in Employees where E.name = "Ann"`)
+	if res := db.MustQuery(`retrieve (n = count(Wanted))`); res.Rows[0][0].String() != "1" {
+		t.Fatalf("membership: %v", res)
+	}
+	// The same applies to nested { ref T } attributes.
+	db.MustExec(`
+		define type Board: ( members: { ref Employee } )
+		create Boards : { own Board }
+		append to Boards (members = {})
+	`)
+	wantExecErr(t, db, `append to B.members (name = "x") from B in Boards`, "references")
+	db.MustExec(`append to B.members (E) from B in Boards, E in Employees where E.salary > 100`)
+	if res := db.MustQuery(`retrieve (M.name) from M in Boards.members`); names(res) != "Cal" {
+		t.Fatalf("nested ref membership: %v", res)
+	}
+}

@@ -1,0 +1,107 @@
+package extra_test
+
+import (
+	"fmt"
+
+	extra "repro"
+)
+
+// The godoc examples double as executable documentation: each runs under
+// go test and its output is verified.
+
+func ExampleOpen() {
+	db, err := extra.Open()
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.MustExec(`
+		define type Person: ( name: varchar, age: int4 )
+		create People : { own Person }
+		append to People (name = "Alice", age = 41)
+		append to People (name = "Bob", age = 33)
+	`)
+	res := db.MustQuery(`retrieve (P.name) from P in People where P.age > 40`)
+	fmt.Print(res)
+	// Output:
+	// name
+	// -------
+	// "Alice"
+}
+
+func ExampleDB_Exec_implicitJoin() {
+	db, _ := extra.Open()
+	defer db.Close()
+	db.MustExec(`
+		define type Dept: ( dname: varchar, floor: int4 )
+		define type Emp: ( name: varchar, dept: ref Dept )
+		create Depts : { own Dept }
+		create Emps : { own Emp }
+		append to Depts (dname = "Toys", floor = 2)
+		append to Emps (name = "Ann")
+		replace E (dept = D) from E in Emps, D in Depts
+	`)
+	res := db.MustQuery(`retrieve (E.name) from E in Emps where E.dept.floor = 2`)
+	fmt.Println(len(res.Rows), "row(s)")
+	// Output:
+	// 1 row(s)
+}
+
+func ExampleDB_Insert() {
+	db, _ := extra.Open()
+	defer db.Close()
+	db.MustExec(`
+		define type Person: ( name: varchar, kids: { own ref Person } )
+		create People : { own Person }
+	`)
+	// Bulk loading without the parser; nested attrs become owned
+	// component objects.
+	_, err := db.Insert("People", extra.Attrs{
+		"name": "Ann",
+		"kids": []any{extra.Attrs{"name": "Amy"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res := db.MustQuery(`retrieve (n = count(People.kids))`)
+	fmt.Print(res)
+	// Output:
+	// n
+	// -
+	// 1
+}
+
+func ExampleDB_Explain() {
+	db, _ := extra.Open()
+	defer db.Close()
+	db.MustExec(`
+		define type Emp: ( name: varchar, salary: int4 )
+		create Emps : { own Emp }
+		define index emp_sal on Emps (salary)
+	`)
+	out, _ := db.Explain(`retrieve (E.name) from E in Emps where E.salary > 100`)
+	fmt.Print(out)
+	// Output:
+	// -> index probe emp_sal on Emps [>] binding E
+	//    filter: (E.salary > 100)
+}
+
+func ExampleDB_Query_aggregates() {
+	db, _ := extra.Open()
+	defer db.Close()
+	db.MustExec(`
+		define type M: ( grp: varchar, v: int4 )
+		create Ms : { own M }
+		append to Ms (grp = "a", v = 1)
+		append to Ms (grp = "a", v = 3)
+		append to Ms (grp = "b", v = 10)
+	`)
+	res := db.MustQuery(`retrieve (g = X.grp, s = sum(X.v by X.grp)) from X in Ms`)
+	fmt.Print(res)
+	// Output:
+	// g    s
+	// ---  --
+	// "a"  4
+	// "b"  10
+}

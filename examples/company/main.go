@@ -1,0 +1,97 @@
+// Company: the paper's running example — employees with reference-valued
+// departments (implicit joins), own-ref kids sets (composite objects),
+// singleton and array reference variables, functions and procedures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	extra "repro"
+)
+
+func main() {
+	db, err := extra.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.MustExec(`
+		define type Department:
+		  ( dname: varchar, floor: int4, budget: int4 )
+		define type Person:
+		  ( name: varchar, age: int4, kids: { own ref Person } )
+		define type Employee inherits Person:
+		  ( salary: int4, dept: ref Department )
+
+		create Departments : { own Department }
+		create Employees : { own Employee }
+		create StarEmployee : ref Employee
+		create TopTen : [10] ref Employee
+	`)
+
+	db.MustExec(`
+		append to Departments (dname = "Toys", floor = 2, budget = 900)
+		append to Departments (dname = "Shoes", floor = 1, budget = 500)
+		append to Departments (dname = "Books", floor = 2, budget = 700)
+
+		append to Employees (name = "Ann", age = 41, salary = 90)
+		append to Employees (name = "Ben", age = 33, salary = 50)
+		append to Employees (name = "Cal", age = 55, salary = 120)
+		append to Employees (name = "Dee", age = 28, salary = 45)
+
+		replace E (dept = D) from E in Employees, D in Departments where E.name = "Ann" and D.dname = "Toys"
+		replace E (dept = D) from E in Employees, D in Departments where E.name = "Ben" and D.dname = "Shoes"
+		replace E (dept = D) from E in Employees, D in Departments where E.name = "Cal" and D.dname = "Books"
+		replace E (dept = D) from E in Employees, D in Departments where E.name = "Dee" and D.dname = "Toys"
+
+		append to E.kids (name = "Amy", age = 7) from E in Employees where E.name = "Ann"
+		append to E.kids (name = "Al", age = 5) from E in Employees where E.name = "Ann"
+		append to E.kids (name = "Bea", age = 9) from E in Employees where E.name = "Ben"
+	`)
+
+	// Implicit join through the dept reference — no join clause needed.
+	fmt.Println("second-floor employees (implicit join):")
+	fmt.Print(db.MustQuery(`retrieve (E.name, E.salary) from E in Employees where E.dept.floor = 2`))
+
+	// Nested sets with a correlated implicit variable: the paper's
+	// signature query.
+	fmt.Println("\nchildren of second-floor employees:")
+	fmt.Print(db.MustQuery(`retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2`))
+
+	// Grouped aggregates with by.
+	fmt.Println("\naverage salary by floor:")
+	fmt.Print(db.MustQuery(`retrieve (f = E.dept.floor, a = avg(E.salary by E.dept.floor)) from E in Employees`))
+
+	// Singleton and array reference variables.
+	db.MustExec(`set StarEmployee = E from E in Employees where E.salary = 120`)
+	db.MustExec(`set TopTen[1] = E from E in Employees where E.name = "Cal"`)
+	db.MustExec(`set TopTen[2] = E from E in Employees where E.name = "Ann"`)
+	fmt.Println("\nstar employee and runner-up:")
+	fmt.Print(db.MustQuery(`retrieve (StarEmployee.name, second = TopTen[2].name)`))
+
+	// A derived attribute (EXCESS function) and a stored command
+	// (procedure with where-bound parameters).
+	db.MustExec(`
+		define function YearlyCost (E: Employee) returns int4 as (E.salary * 12)
+		define procedure FloorRaise (D: Department, amount: int4) as
+		  replace E (salary = E.salary + amount) from E in Employees where E.dept is D
+	`)
+	fmt.Println("\nyearly cost (derived attribute):")
+	fmt.Print(db.MustQuery(`retrieve (E.name, yc = E.YearlyCost) from E in Employees where E.dept.floor = 2`))
+
+	db.MustExec(`execute FloorRaise (D, 15) from D in Departments where D.floor = 2`)
+	fmt.Println("\nafter the second-floor raise:")
+	fmt.Print(db.MustQuery(`retrieve (E.name, E.salary) from E in Employees where E.dept.floor = 2`))
+
+	// Universal quantification: floors where everyone earns > 60.
+	db.MustExec(`range of AE is all Employees`)
+	fmt.Println("\ndepartments whose every employee earns over 60:")
+	fmt.Print(db.MustQuery(`retrieve (D.dname) from D in Departments where AE.dept isnot D or AE.salary > 60`))
+
+	// Deleting Ann destroys her kids (own ref cascade).
+	db.MustExec(`delete E from E in Employees where E.name = "Ann"`)
+	fmt.Println("\nkids after Ann leaves (cascade):")
+	fmt.Print(db.MustQuery(`retrieve (n = count(Employees.kids))`))
+}

@@ -1,0 +1,141 @@
+// Engineering: the extensibility half of the paper — a Complex ADT used
+// in schema types (Figure 7), arrays for measurements, a user-registered
+// ADT with a new operator, and a generic set function (median) that
+// applies to any ordered type. This is the CAD/engineering-data use case
+// the paper's introduction motivates.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	extra "repro"
+	"repro/internal/adt"
+	"repro/internal/codec"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func main() {
+	db, err := extra.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Register the median set function (any totally ordered element
+	// type) and a Voltage ADT with a |~| "ripple" operator, the way an
+	// E-language dbclass would be added.
+	if err := extra.RegisterMedian(db.Registry()); err != nil {
+		log.Fatal(err)
+	}
+	registerVoltage(db)
+
+	db.MustExec(`
+		define type Probe:
+		  ( label: varchar,
+		    impedance: Complex,
+		    samples: [4] float8,
+		    supply: Voltage )
+		create Probes : { own Probe }
+	`)
+	db.MustExec(`
+		append to Probes (label = "p1", impedance = complex(50.0, 1.2), samples = {1.0, 1.5, 0.9, 1.2}, supply = volts(5.0))
+		append to Probes (label = "p2", impedance = complex(75.0, -3.0), samples = {2.0, 2.2, 1.9, 2.1}, supply = volts(3.3))
+		append to Probes (label = "p3", impedance = complex(50.0, 0.1), samples = {0.5, 0.4, 0.6, 0.5}, supply = volts(5.0))
+	`)
+
+	// Complex arithmetic through the registered "+"/"*" operators and
+	// member functions (Figure 7's invocation styles).
+	fmt.Println("series impedance of p1 and p2:")
+	fmt.Print(db.MustQuery(`
+		retrieve (z = A.impedance + B.impedance)
+		from A in Probes, B in Probes where A.label = "p1" and B.label = "p2"`))
+
+	fmt.Println("\nimpedance magnitudes:")
+	fmt.Print(db.MustQuery(`retrieve (P.label, m = Magnitude(P.impedance)) from P in Probes`))
+
+	// Arrays index from 1; aggregates fold over array-valued paths.
+	fmt.Println("\nsecond samples and per-probe means:")
+	fmt.Print(db.MustQuery(`retrieve (P.label, s2 = P.samples[2], mean = avg(P.samples)) from P in Probes`))
+
+	// The new |~| operator and the ADT-typed predicate.
+	fmt.Println("\nsupply ripple (new |~| operator on the Voltage ADT):")
+	fmt.Print(db.MustQuery(`retrieve (P.label, r = P.supply |~| P.supply) from P in Probes`))
+
+	// The generic median applies to floats here and to any ordered type —
+	// the same function computes a median label (string ordering).
+	fmt.Println("\nper-probe sample medians and the median label:")
+	fmt.Print(db.MustQuery(`retrieve (P.label, med = median(P.samples)) from P in Probes`))
+	fmt.Print(db.MustQuery(`retrieve (ml = median(Probes.label))`))
+}
+
+// registerVoltage adds a small ADT the way Figure 7 adds Complex: a
+// constructor, an ordering hook, and a registered operator with declared
+// precedence.
+func registerVoltage(db *extra.DB) {
+	reg := db.Registry()
+	cls, err := reg.Define("Voltage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vt := cls.Type
+	must := func(e error) {
+		if e != nil {
+			log.Fatal(e)
+		}
+	}
+	must(reg.RegisterFunc("Voltage", &adt.Func{
+		Name: "volts", Params: []types.Type{types.Float8}, Result: vt,
+		Impl: func(args []value.Value) (value.Value, error) {
+			f, _ := value.AsFloat(args[0])
+			return value.ADTVal{ADT: "Voltage", Rep: VoltRep{V: f}}, nil
+		},
+	}))
+	ripple := &adt.Func{
+		Name: "ripple", Params: []types.Type{vt, vt}, Result: types.Float8,
+		Impl: func(args []value.Value) (value.Value, error) {
+			a := args[0].(value.ADTVal).Rep.(VoltRep)
+			b := args[1].(value.ADTVal).Rep.(VoltRep)
+			return value.NewFloat(math.Abs(a.V-b.V) + 0.01*a.V), nil
+		},
+	}
+	must(reg.RegisterFunc("Voltage", ripple))
+	must(reg.RegisterOperator("Voltage", adt.Operator{Symbol: "|~|", Precedence: 6, Fn: ripple}))
+	// A storage codec makes the ADT persistent — the dbclass's layout on
+	// an EXODUS storage object.
+	codec.RegisterADTCodec("Voltage", codec.ADTCodec{
+		Encode: func(rep any) ([]byte, error) {
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint64(b, math.Float64bits(rep.(VoltRep).V))
+			return b, nil
+		},
+		Decode: func(data []byte) (any, error) {
+			return VoltRep{V: math.Float64frombits(binary.LittleEndian.Uint64(data))}, nil
+		},
+	})
+}
+
+// VoltRep is the Voltage ADT's representation; it orders by value and
+// prints with a unit.
+type VoltRep struct{ V float64 }
+
+// String renders the voltage.
+func (v VoltRep) String() string { return fmt.Sprintf("%gV", v.V) }
+
+// CompareRep orders voltages (value.Compare hook).
+func (v VoltRep) CompareRep(o any) int {
+	w := o.(VoltRep)
+	switch {
+	case v.V < w.V:
+		return -1
+	case v.V > w.V:
+		return 1
+	}
+	return 0
+}
+
+// EqualRep reports equality (value.Equal hook).
+func (v VoltRep) EqualRep(o any) bool { w, ok := o.(VoltRep); return ok && v == w }

@@ -1,0 +1,51 @@
+// Quickstart: open a database, define a schema type, create an extent,
+// load a few objects, and query them — the smallest useful EXTRA/EXCESS
+// program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	extra "repro"
+)
+
+func main() {
+	db, err := extra.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// EXTRA separates types from instances: define the type once, then
+	// create as many collections of it as you need.
+	db.MustExec(`
+		define type Person:
+		  ( name: varchar,
+		    age: int4 )
+		create People : { own Person }
+	`)
+
+	// QUEL-style appends.
+	db.MustExec(`
+		append to People (name = "Alice", age = 41)
+		append to People (name = "Bob", age = 33)
+		append to People (name = "Carol", age = 58)
+	`)
+
+	// Retrieval with a from-clause range variable.
+	res := db.MustQuery(`retrieve (P.name, P.age) from P in People where P.age > 40`)
+	fmt.Println("people over 40:")
+	fmt.Print(res)
+
+	// Aggregates over the whole extent.
+	res = db.MustQuery(`retrieve (n = count(People), avg_age = avg(People.age))`)
+	fmt.Println("\nsummary:")
+	fmt.Print(res)
+
+	// Updates: a raise in years.
+	db.MustExec(`replace P (age = P.age + 1) from P in People`)
+	res = db.MustQuery(`retrieve (avg_age = avg(People.age))`)
+	fmt.Println("\nafter birthdays:")
+	fmt.Print(res)
+}

@@ -1,0 +1,31 @@
+package extra
+
+import (
+	"fmt"
+
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+)
+
+// Explain type-checks and plans a retrieve statement and returns the
+// optimizer's plan as an indented text tree — which access method each
+// variable uses, where each predicate conjunct was attached, and the
+// universally quantified residue. The query is not executed.
+func (db *DB) Explain(src string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, err := parse.One(src, db.reg)
+	if err != nil {
+		return "", err
+	}
+	r, ok := st.(*ast.Retrieve)
+	if !ok {
+		return "", fmt.Errorf("Explain requires a retrieve statement")
+	}
+	cq, err := db.checker(nil).CheckRetrieve(r)
+	if err != nil {
+		return "", err
+	}
+	plan := db.exec.Plan(cq.Query)
+	return plan.Explain(), nil
+}

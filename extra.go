@@ -1,0 +1,492 @@
+// Package extra is a Go implementation of EXTRA and EXCESS — the data
+// model and query language designed for the EXODUS extensible database
+// system (Carey, DeWitt and Vandenberg, SIGMOD 1988).
+//
+// EXTRA provides tuple, set, fixed- and variable-length array and
+// reference type constructors, three attribute-value semantics (own, ref
+// and own ref), multiple inheritance over schema types, and an abstract
+// data type facility. EXCESS is the QUEL-derived query language over
+// it: range variables, implicit joins through reference paths, nested
+// set queries, aggregates with by/over partitioning, universal
+// quantification, updates, functions (derived data) and procedures
+// (stored commands).
+//
+// Quick start:
+//
+//	db, _ := extra.Open()
+//	defer db.Close()
+//	db.MustExec(`
+//	    define type Person: ( name: char[20], age: int4 )
+//	    create People : { own Person }
+//	    append to People (name = "Alice", age = 41)
+//	`)
+//	res, _ := db.Query(`retrieve (P.name) from P in People where P.age > 40`)
+//	fmt.Print(res)
+package extra
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/algebra"
+	"repro/internal/authz"
+	"repro/internal/catalog"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+	"repro/internal/excess/sema"
+	"repro/internal/exec"
+	"repro/internal/object"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Result re-exports the executor's result set.
+type Result = exec.Result
+
+// Row re-exports the executor's result row.
+type Row = exec.Row
+
+// OptimizerOptions re-exports the optimizer switches (zero value: all
+// optimizations on).
+type OptimizerOptions = algebra.Options
+
+// PoolStats re-exports buffer pool counters.
+type PoolStats = storage.PoolStats
+
+// DB is an EXTRA/EXCESS database: catalog, object store, buffer pool,
+// session state and executor. Statements are serialized by an internal
+// mutex; a DB is safe for concurrent use by multiple goroutines.
+type DB struct {
+	mu      sync.Mutex
+	reg     *adt.Registry
+	cat     *catalog.Catalog
+	pool    *storage.BufferPool
+	store   *object.Store
+	session *sema.Session
+	exec    *exec.Executor
+	auth    *authz.Authorizer
+	user    string
+	closed  bool
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	poolPages int
+	filePath  string
+}
+
+// WithPoolSize sets the buffer pool capacity in pages (default 256).
+func WithPoolSize(pages int) Option {
+	return func(c *config) { c.poolPages = pages }
+}
+
+// WithFileStore backs pages with the given file instead of memory.
+func WithFileStore(path string) Option {
+	return func(c *config) { c.filePath = path }
+}
+
+// Open creates a database. The ADT registry comes preloaded with the
+// built-in Date and Complex types of the paper's figures.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{poolPages: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var ps storage.PageStore
+	if cfg.filePath != "" {
+		fs, err := storage.OpenFileStore(cfg.filePath)
+		if err != nil {
+			return nil, err
+		}
+		ps = fs
+	} else {
+		ps = storage.NewMemStore()
+	}
+	reg := adt.NewRegistry()
+	cat := catalog.New(reg)
+	pool := storage.NewBufferPool(ps, cfg.poolPages)
+	store := object.New(pool, cat)
+	session := sema.NewSession()
+	db := &DB{
+		reg:     reg,
+		cat:     cat,
+		pool:    pool,
+		store:   store,
+		session: session,
+		exec:    exec.New(store, cat, session),
+		auth:    authz.New(),
+		user:    "dba",
+	}
+	return db, nil
+}
+
+// Close flushes dirty pages and releases the page store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.pool.Store().Close()
+}
+
+// Registry exposes the ADT registry for registering new abstract data
+// types, operators and generic set functions from Go — the E-language
+// extension path of the paper.
+func (db *DB) Registry() *adt.Registry { return db.reg }
+
+// Catalog exposes the schema catalog (read-mostly introspection).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// SetOptimizer configures query optimization (benchmarks use this to
+// compare optimized and naive plans).
+func (db *DB) SetOptimizer(o OptimizerOptions) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.exec.SetOptions(o)
+}
+
+// PoolStats returns buffer pool counters.
+func (db *DB) PoolStats() PoolStats { return db.pool.Stats() }
+
+// ResetPoolStats zeroes buffer pool counters.
+func (db *DB) ResetPoolStats() { db.pool.ResetStats() }
+
+// Exec parses and runs one or more EXCESS statements, returning the
+// result of the last retrieve (nil if none).
+func (db *DB) Exec(src string) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("database is closed")
+	}
+	stmts, err := parse.Statements(src, db.reg)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := db.runStmt(st, nil)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			last = r
+		}
+	}
+	return last, nil
+}
+
+// Query is Exec for a single retrieve; it errors when the source is not
+// exactly one retrieve statement.
+func (db *DB) Query(src string) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("database is closed")
+	}
+	st, err := parse.One(src, db.reg)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := st.(*ast.Retrieve)
+	if !ok {
+		return nil, fmt.Errorf("Query requires a retrieve statement; use Exec for updates and DDL")
+	}
+	return db.runStmt(r, nil)
+}
+
+// MustExec runs statements and panics on error; for examples and tests.
+func (db *DB) MustExec(src string) *Result {
+	r, err := db.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MustQuery runs a retrieve and panics on error.
+func (db *DB) MustQuery(src string) *Result {
+	r, err := db.Query(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// runStmt dispatches one statement. params provides the parameter scope
+// when executing procedure bodies. Callers hold db.mu.
+func (db *DB) runStmt(st ast.Statement, params *paramScope) (*Result, error) {
+	switch s := st.(type) {
+	case *ast.DefineType:
+		_, err := db.cat.DefineTupleFromAST(s)
+		if err == nil {
+			db.auth.SetOwner(s.Name, db.user)
+		}
+		return nil, err
+	case *ast.DefineEnum:
+		return nil, db.cat.DefineEnum(&types.Enum{Name: s.Name, Labels: s.Labels})
+	case *ast.Create:
+		comp, err := db.cat.ResolveComponent(s.Comp)
+		if err != nil {
+			return nil, err
+		}
+		v, err := db.cat.CreateVar(s.Name, comp)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.store.InitVar(v); err != nil {
+			return nil, err
+		}
+		for i, key := range s.Keys {
+			if _, err := db.store.BuildKey(s.Name, key, i); err != nil {
+				return nil, err
+			}
+		}
+		db.auth.SetOwner(s.Name, db.user)
+		return nil, nil
+	case *ast.Drop:
+		if err := db.auth.Check(db.user, s.Name, authz.Update); err != nil {
+			return nil, err
+		}
+		v, ok := db.cat.Var(s.Name)
+		if !ok {
+			return nil, fmt.Errorf("no database variable %s", s.Name)
+		}
+		if err := db.store.DropVar(v); err != nil {
+			return nil, err
+		}
+		return nil, db.cat.DropVar(s.Name)
+	case *ast.DefineFunction:
+		_, err := sema.BuildFunction(db.cat, db.session, s)
+		return nil, err
+	case *ast.DefineProcedure:
+		p, err := sema.BuildProcedure(db.cat, s)
+		if err != nil {
+			return nil, err
+		}
+		p.Owner = db.user
+		return nil, db.cat.DefineProcedure(p)
+	case *ast.DefineIndex:
+		_, err := db.store.BuildIndex(s.Name, s.Extent, s.Path, s.Unique)
+		return nil, err
+	case *ast.RangeDecl:
+		// Validate eagerly so "range of E is Nonexistent" fails here.
+		probe := sema.NewChecker(db.cat, sema.NewSession(), params.typesOrNil())
+		if _, err := probe.ProbeRange(s); err != nil {
+			return nil, err
+		}
+		db.session.Declare(s)
+		return nil, nil
+	case *ast.Grant:
+		return nil, db.auth.Grant(db.user, s.Priv, s.On, s.To)
+	case *ast.Revoke:
+		return nil, db.auth.Revoke(db.user, s.Priv, s.On, s.From)
+	case *ast.Retrieve:
+		ck := db.checker(params)
+		cq, err := ck.CheckRetrieve(s)
+		if err != nil {
+			return nil, err
+		}
+		var texprs []sema.Expr
+		for _, tc := range cq.Targets {
+			texprs = append(texprs, tc.Expr)
+		}
+		if err := db.authQuery(cq.Query, nil, texprs...); err != nil {
+			return nil, err
+		}
+		res, err := db.withParams(params, func() (*Result, error) {
+			return db.exec.Retrieve(cq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cq.Into != "" {
+			db.auth.SetOwner(cq.Into, db.user)
+		}
+		return res, nil
+	case *ast.Append:
+		ck := db.checker(params)
+		ca, err := ck.CheckAppend(s)
+		if err != nil {
+			return nil, err
+		}
+		wr := ca.Extent
+		if wr == "" {
+			wr = ca.OwnerVar
+		}
+		if err := db.authQuery(ca.Query, []string{wr}); err != nil {
+			return nil, err
+		}
+		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Append(ca) })
+		return nil, err
+	case *ast.Delete:
+		ck := db.checker(params)
+		cd, err := ck.CheckDelete(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.authQuery(cd.Query, []string{cd.Var.Extent}); err != nil {
+			return nil, err
+		}
+		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Delete(cd) })
+		return nil, err
+	case *ast.Replace:
+		ck := db.checker(params)
+		cr, err := ck.CheckReplace(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.authQuery(cr.Query, []string{cr.Var.Extent}); err != nil {
+			return nil, err
+		}
+		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Replace(cr) })
+		return nil, err
+	case *ast.SetStmt:
+		ck := db.checker(params)
+		cs, err := ck.CheckSet(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.authQuery(cs.Query, []string{cs.VarName}); err != nil {
+			return nil, err
+		}
+		_, err = db.withParams(params, func() (*Result, error) { return nil, db.exec.Set(cs) })
+		return nil, err
+	case *ast.Execute:
+		return nil, db.runExecute(s, params)
+	}
+	return nil, fmt.Errorf("unhandled statement %T", st)
+}
+
+// paramScope carries the parameter names/types/values of an executing
+// procedure body.
+type paramScope struct {
+	types  map[string]types.Type
+	values map[string]value.Value
+}
+
+func (p *paramScope) typesOrNil() map[string]types.Type {
+	if p == nil {
+		return nil
+	}
+	return p.types
+}
+
+func (db *DB) checker(params *paramScope) *sema.Checker {
+	return sema.NewChecker(db.cat, db.session, params.typesOrNil())
+}
+
+// withParams runs fn with the procedure parameter frame installed.
+func (db *DB) withParams(params *paramScope, fn func() (*Result, error)) (*Result, error) {
+	if params != nil {
+		db.exec.PushParams(params.values)
+		defer db.exec.PopParams()
+	}
+	return fn()
+}
+
+func (db *DB) withParamsN(params *paramScope, fn func() (int, error)) (int, error) {
+	if params != nil {
+		db.exec.PushParams(params.values)
+		defer db.exec.PopParams()
+	}
+	return fn()
+}
+
+// runExecute evaluates a procedure invocation: the body runs once per
+// binding of the from/where clause with arguments as parameters.
+func (db *DB) runExecute(s *ast.Execute, params *paramScope) error {
+	ck := db.checker(params)
+	ce, err := ck.CheckExecute(s)
+	if err != nil {
+		return err
+	}
+	if err := db.authQuery(ce.Query, nil); err != nil {
+		return err
+	}
+	ptypes := make(map[string]types.Type, len(ce.Proc.Params))
+	for _, p := range ce.Proc.Params {
+		ptypes[p.Name] = p.Type
+	}
+	// Definer rights: the body runs with the owner's privileges, so a
+	// procedure can encapsulate updates its caller could not perform
+	// directly (the IDM stored-command pattern the paper builds data
+	// abstraction from).
+	caller := db.user
+	if ce.Proc.Owner != "" {
+		db.user = ce.Proc.Owner
+	}
+	defer func() { db.user = caller }()
+	_, err = db.withParamsN(params, func() (int, error) {
+		return db.exec.Execute(ce, func(frame map[string]value.Value) error {
+			scope := &paramScope{types: ptypes, values: frame}
+			for _, bodyStmt := range ce.Proc.Body {
+				if _, err := db.runStmt(bodyStmt, scope); err != nil {
+					return fmt.Errorf("procedure %s: %w", ce.Proc.Name, err)
+				}
+			}
+			return nil
+		})
+	})
+	return err
+}
+
+// authQuery enforces select on every extent and database variable a
+// query reads (range sources, whole-extent aggregates, variable reads in
+// any expression) and update on the write targets. Reads inside EXCESS
+// function bodies are deliberately exempt — that exemption is the data
+// abstraction mechanism of §4.2.3.
+func (db *DB) authQuery(q sema.Query, writes []string, exprs ...sema.Expr) error {
+	reads := map[string]bool{}
+	for _, v := range q.Vars {
+		if v.Extent != "" {
+			reads[v.Extent] = true
+		}
+	}
+	collect := func(e sema.Expr) {
+		sema.WalkExpr(e, func(x sema.Expr) {
+			switch r := x.(type) {
+			case *sema.DBVarRead:
+				reads[r.Name] = true
+			case *sema.ExtentSet:
+				reads[r.Name] = true
+			}
+		})
+	}
+	collect(q.Where)
+	for _, e := range exprs {
+		collect(e)
+	}
+	for name := range reads {
+		if err := db.auth.Check(db.user, name, authz.Select); err != nil {
+			return err
+		}
+	}
+	for _, w := range writes {
+		if w == "" {
+			continue
+		}
+		if err := db.auth.Check(db.user, w, authz.Update); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConsistency runs the object store's structural fsck: ownership
+// symmetry, extent maps, index completeness and uniqueness. It returns
+// the violations found (nil means consistent).
+func (db *DB) CheckConsistency() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.CheckConsistency()
+}

@@ -1,0 +1,150 @@
+package adt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// ComplexRep is the internal representation of the Complex ADT of Figure
+// 7 — the paper's running example of adding a new base type via an E
+// dbclass with Add/Subtract/Multiply member functions and "+" registered
+// as an alternative invocation syntax for Add.
+type ComplexRep struct {
+	Re, Im float64
+}
+
+// String renders the value as "a+bi".
+func (c ComplexRep) String() string {
+	if c.Im < 0 {
+		return fmt.Sprintf("%g%gi", c.Re, c.Im)
+	}
+	return fmt.Sprintf("%g+%gi", c.Re, c.Im)
+}
+
+// EqualRep reports component-wise equality (value.Equal hook).
+func (c ComplexRep) EqualRep(o any) bool {
+	d, ok := o.(ComplexRep)
+	return ok && c == d
+}
+
+// NewComplex builds a Complex ADT value.
+func NewComplex(re, im float64) value.Value {
+	return value.ADTVal{ADT: "Complex", Rep: ComplexRep{Re: re, Im: im}}
+}
+
+func complexArg(args []value.Value, i int) (ComplexRep, error) {
+	a, ok := args[i].(value.ADTVal)
+	if !ok {
+		return ComplexRep{}, fmt.Errorf("argument %d: want Complex, got %s", i+1, args[i])
+	}
+	r, ok := a.Rep.(ComplexRep)
+	if !ok {
+		return ComplexRep{}, fmt.Errorf("argument %d: want Complex, got %s", i+1, a.ADT)
+	}
+	return r, nil
+}
+
+func binComplex(name string, f func(a, b ComplexRep) ComplexRep) *Func {
+	return &Func{
+		Name:   name,
+		Params: nil, // filled by caller with the ADT type
+		Impl: func(args []value.Value) (value.Value, error) {
+			a, err := complexArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := complexArg(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			return value.ADTVal{ADT: "Complex", Rep: f(a, b)}, nil
+		},
+	}
+}
+
+func registerComplex(r *Registry) {
+	c, err := r.Define("Complex")
+	if err != nil {
+		panic(err)
+	}
+	ct := c.Type
+	must := func(e error) {
+		if e != nil {
+			panic(e)
+		}
+	}
+
+	must(r.RegisterFunc("Complex", &Func{
+		Name: "complex", Params: []types.Type{types.Float8, types.Float8}, Result: ct,
+		Impl: func(args []value.Value) (value.Value, error) {
+			re, ok1 := value.AsFloat(args[0])
+			im, ok2 := value.AsFloat(args[1])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("complex: want two numbers")
+			}
+			return NewComplex(re, im), nil
+		},
+	}))
+
+	add := binComplex("Add", func(a, b ComplexRep) ComplexRep {
+		return ComplexRep{Re: a.Re + b.Re, Im: a.Im + b.Im}
+	})
+	add.Params = []types.Type{ct, ct}
+	add.Result = ct
+	must(r.RegisterFunc("Complex", add))
+
+	sub := binComplex("Subtract", func(a, b ComplexRep) ComplexRep {
+		return ComplexRep{Re: a.Re - b.Re, Im: a.Im - b.Im}
+	})
+	sub.Params = []types.Type{ct, ct}
+	sub.Result = ct
+	must(r.RegisterFunc("Complex", sub))
+
+	mul := binComplex("Multiply", func(a, b ComplexRep) ComplexRep {
+		return ComplexRep{Re: a.Re*b.Re - a.Im*b.Im, Im: a.Re*b.Im + a.Im*b.Re}
+	})
+	mul.Params = []types.Type{ct, ct}
+	mul.Result = ct
+	must(r.RegisterFunc("Complex", mul))
+
+	must(r.RegisterFunc("Complex", &Func{
+		Name: "Magnitude", Params: []types.Type{ct}, Result: types.Float8,
+		Impl: func(args []value.Value) (value.Value, error) {
+			a, err := complexArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewFloat(math.Hypot(a.Re, a.Im)), nil
+		},
+	}))
+	must(r.RegisterFunc("Complex", &Func{
+		Name: "Real", Params: []types.Type{ct}, Result: types.Float8,
+		Impl: func(args []value.Value) (value.Value, error) {
+			a, err := complexArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewFloat(a.Re), nil
+		},
+	}))
+	must(r.RegisterFunc("Complex", &Func{
+		Name: "Imag", Params: []types.Type{ct}, Result: types.Float8,
+		Impl: func(args []value.Value) (value.Value, error) {
+			a, err := complexArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewFloat(a.Im), nil
+		},
+	}))
+
+	// Operator registrations: the paper's example overloads "+" for
+	// Complex ("CnumPair.val1 + CnumPair.val2") while still accepting the
+	// symmetric form "Add(CnumPair.val1, CnumPair.val2)".
+	must(r.RegisterOperator("Complex", Operator{Symbol: "+", Precedence: 5, Fn: add}))
+	must(r.RegisterOperator("Complex", Operator{Symbol: "-", Precedence: 5, Fn: sub}))
+	must(r.RegisterOperator("Complex", Operator{Symbol: "*", Precedence: 6, Fn: mul}))
+}

@@ -1,0 +1,211 @@
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// DateRep is the internal representation of the built-in Date ADT used in
+// Figure 1 of the paper ("birthday: Date", "create Today: Date"). It is
+// stored as a civil date and ordered chronologically.
+type DateRep struct {
+	Year  int
+	Month int
+	Day   int
+}
+
+// String renders the date in the paper's mm/dd/yyyy style.
+func (d DateRep) String() string { return fmt.Sprintf("%02d/%02d/%04d", d.Month, d.Day, d.Year) }
+
+// CompareRep orders dates chronologically (value.Compare hook).
+func (d DateRep) CompareRep(o any) int {
+	e := o.(DateRep)
+	a := d.ordinal()
+	b := e.ordinal()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// EqualRep reports date equality (value.Equal hook).
+func (d DateRep) EqualRep(o any) bool {
+	e, ok := o.(DateRep)
+	return ok && d == e
+}
+
+var cumDays = [...]int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334}
+
+func leap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+
+// ordinal converts to a day count comparable across dates (proleptic
+// Gregorian, good enough for ordering and day arithmetic).
+func (d DateRep) ordinal() int {
+	y := d.Year - 1
+	n := y*365 + y/4 - y/100 + y/400
+	n += cumDays[d.Month-1]
+	if d.Month > 2 && leap(d.Year) {
+		n++
+	}
+	return n + d.Day
+}
+
+func daysIn(m, y int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if leap(y) {
+			return 29
+		}
+		return 28
+	}
+}
+
+// NewDate builds a Date ADT value, validating the civil date.
+func NewDate(year, month, day int) (value.Value, error) {
+	if month < 1 || month > 12 || day < 1 || day > daysIn(month, year) || year < 1 {
+		return nil, fmt.Errorf("invalid date %d/%d/%d", month, day, year)
+	}
+	return value.ADTVal{ADT: "Date", Rep: DateRep{Year: year, Month: month, Day: day}}, nil
+}
+
+// ParseDate parses the mm/dd/yyyy literal form used by the paper.
+func ParseDate(s string) (value.Value, error) {
+	var m, d, y int
+	if _, err := fmt.Sscanf(s, "%d/%d/%d", &m, &d, &y); err != nil {
+		return nil, fmt.Errorf("bad date literal %q: want mm/dd/yyyy", s)
+	}
+	return NewDate(y, m, d)
+}
+
+func dateArg(args []value.Value, i int) (DateRep, error) {
+	a, ok := args[i].(value.ADTVal)
+	if !ok {
+		return DateRep{}, fmt.Errorf("argument %d: want Date, got %s", i+1, args[i])
+	}
+	r, ok := a.Rep.(DateRep)
+	if !ok {
+		return DateRep{}, fmt.Errorf("argument %d: want Date, got %s", i+1, a.ADT)
+	}
+	return r, nil
+}
+
+func registerDate(r *Registry) {
+	c, err := r.Define("Date")
+	if err != nil {
+		panic(err)
+	}
+	dt := c.Type
+	must := func(e error) {
+		if e != nil {
+			panic(e)
+		}
+	}
+	must(r.RegisterFunc("Date", &Func{
+		Name: "date", Params: []types.Type{types.Varchar}, Result: dt,
+		Impl: func(args []value.Value) (value.Value, error) {
+			s, ok := value.AsString(args[0])
+			if !ok {
+				return nil, fmt.Errorf("date: want string literal")
+			}
+			return ParseDate(s)
+		},
+	}))
+	must(r.RegisterFunc("Date", &Func{
+		Name: "year", Params: []types.Type{dt}, Result: types.Int4,
+		Impl: func(args []value.Value) (value.Value, error) {
+			d, err := dateArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewInt(int64(d.Year)), nil
+		},
+	}))
+	must(r.RegisterFunc("Date", &Func{
+		Name: "month", Params: []types.Type{dt}, Result: types.Int4,
+		Impl: func(args []value.Value) (value.Value, error) {
+			d, err := dateArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewInt(int64(d.Month)), nil
+		},
+	}))
+	must(r.RegisterFunc("Date", &Func{
+		Name: "day", Params: []types.Type{dt}, Result: types.Int4,
+		Impl: func(args []value.Value) (value.Value, error) {
+			d, err := dateArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewInt(int64(d.Day)), nil
+		},
+	}))
+	must(r.RegisterFunc("Date", &Func{
+		Name: "add_days", Params: []types.Type{dt, types.Int4}, Result: dt,
+		Impl: func(args []value.Value) (value.Value, error) {
+			d, err := dateArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			n, ok := value.AsInt(args[1])
+			if !ok {
+				return nil, fmt.Errorf("add_days: want integer day count")
+			}
+			// Walk day by day; fine for query-scale arithmetic.
+			for n > 0 {
+				d.Day++
+				if d.Day > daysIn(d.Month, d.Year) {
+					d.Day = 1
+					d.Month++
+					if d.Month > 12 {
+						d.Month = 1
+						d.Year++
+					}
+				}
+				n--
+			}
+			for n < 0 {
+				d.Day--
+				if d.Day < 1 {
+					d.Month--
+					if d.Month < 1 {
+						d.Month = 12
+						d.Year--
+					}
+					d.Day = daysIn(d.Month, d.Year)
+				}
+				n++
+			}
+			return value.ADTVal{ADT: "Date", Rep: d}, nil
+		},
+	}))
+	diff := &Func{
+		Name: "diff_days", Params: []types.Type{dt, dt}, Result: types.Int4,
+		Impl: func(args []value.Value) (value.Value, error) {
+			a, err := dateArg(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := dateArg(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			return value.NewInt(int64(a.ordinal() - b.ordinal())), nil
+		},
+	}
+	must(r.RegisterFunc("Date", diff))
+	// "-" between two dates is the day difference, registered at the
+	// additive precedence level.
+	must(r.RegisterOperator("Date", Operator{
+		Symbol: "-", Precedence: 5, Fn: diff,
+	}))
+}

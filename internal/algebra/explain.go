@@ -1,0 +1,136 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/excess/sema"
+)
+
+// Explain renders a plan as an indented text tree, used by the shell's
+// \explain and by DB.Explain. It shows the access method chosen per
+// node, where each conjunct was attached, and the quantified residue —
+// the observable output of the optimizer rules.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		indent := strings.Repeat("  ", i)
+		fmt.Fprintf(&b, "%s-> %s\n", indent, describeNode(n))
+		for _, f := range n.Filter {
+			fmt.Fprintf(&b, "%s   filter: %s\n", indent, ExprString(f))
+		}
+	}
+	indent := strings.Repeat("  ", len(p.Nodes))
+	for _, f := range p.Final {
+		fmt.Fprintf(&b, "%sresidual: %s\n", indent, ExprString(f))
+	}
+	if len(p.Universal) > 0 {
+		names := make([]string, len(p.Universal))
+		for i, v := range p.Universal {
+			names[i] = v.Name
+		}
+		fmt.Fprintf(&b, "%sforall %s:\n", indent, strings.Join(names, ", "))
+		for _, f := range p.ForAll {
+			fmt.Fprintf(&b, "%s  must hold: %s\n", indent, ExprString(f))
+		}
+	}
+	return b.String()
+}
+
+func describeNode(n *Node) string {
+	v := n.Var
+	name := v.Name
+	if v.Implicit {
+		name = "(implicit over " + v.Extent + ")"
+	}
+	switch v.Kind {
+	case sema.VarExtent:
+		if n.Access != nil {
+			return fmt.Sprintf("index probe %s on %s [%s] binding %s",
+				n.Access.Index.Name, v.Extent, n.Access.FromPred, name)
+		}
+		return fmt.Sprintf("scan %s binding %s", v.Extent, name)
+	case sema.VarNested:
+		return fmt.Sprintf("unnest %s%s binding %s", v.Parent.Name, stepsString(v.Steps), name)
+	case sema.VarDBPath:
+		return fmt.Sprintf("unnest %s%s binding %s", v.Extent, stepsString(v.Steps), name)
+	}
+	return "?"
+}
+
+func stepsString(steps []sema.Step) string {
+	s := ""
+	for _, st := range steps {
+		if st.Attr != "" {
+			s += "." + st.Attr
+		}
+		if st.Index != nil {
+			s += "[" + ExprString(st.Index) + "]"
+		}
+	}
+	return s
+}
+
+// ExprString renders a bound expression in (approximate) surface syntax
+// for diagnostics and plan display.
+func ExprString(e sema.Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "true"
+	case *sema.Const:
+		return x.Val.String()
+	case *sema.VarRef:
+		if x.Var.Implicit {
+			return x.Var.Extent
+		}
+		return x.Var.Name
+	case *sema.ParamRef:
+		return x.Name
+	case *sema.DBVarRead:
+		return x.Name
+	case *sema.ExtentSet:
+		return x.Name
+	case *sema.PathExpr:
+		return ExprString(x.Base) + stepsString(x.Steps)
+	case *sema.Unary:
+		return x.Op + " " + ExprString(x.X)
+	case *sema.Binary:
+		return "(" + ExprString(x.L) + " " + x.Op + " " + ExprString(x.R) + ")"
+	case *sema.FuncCall:
+		return x.Name + argList(x.Args)
+	case *sema.ADTCall:
+		return x.Fn.Name + argList(x.Args)
+	case *sema.Agg:
+		s := x.Op + "(" + ExprString(x.Arg)
+		for i, g := range x.By {
+			if i == 0 {
+				s += " by "
+			} else {
+				s += ", "
+			}
+			s += ExprString(g)
+		}
+		if x.Over != nil {
+			s += " over " + ExprString(x.Over)
+		}
+		return s + ")"
+	case *sema.SetCtor:
+		parts := make([]string, len(x.Elems))
+		for i, el := range x.Elems {
+			parts[i] = ExprString(el)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *sema.TupleCtor:
+		return x.TT.Name + "(...)"
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func argList(args []sema.Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = ExprString(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

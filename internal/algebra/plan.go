@@ -1,0 +1,390 @@
+// Package algebra lowers checked EXCESS queries to executable plans and
+// optimizes them in the rule-driven style of the EXODUS optimizer
+// generator [Grae87]: the optimizer is a small engine over declarative
+// rules and an access-method applicability table, not a set of hard-coded
+// plan shapes, so new access methods and operator properties slot in as
+// table entries.
+//
+// A plan is a pipeline of variable-binding nodes (extent scans, optional
+// index access, nested-path unnests) with predicates attached at the
+// earliest node where their variables are bound, followed by a residual
+// filter and, for universally quantified variables, a forall check.
+package algebra
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/codec"
+	"repro/internal/excess/sema"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// AccessPath selects how an extent-scan node locates its objects: nil
+// means a heap scan; otherwise a B+-tree range probe with the given
+// encoded bounds.
+type AccessPath struct {
+	Index    *catalog.Index
+	Lo, Hi   []byte
+	IncLo    bool
+	IncHi    bool
+	FromPred string // display: the predicate that selected the index
+}
+
+// Node binds one range variable per input binding.
+type Node struct {
+	Var    *sema.Var
+	Access *AccessPath
+	Filter []sema.Expr // conjuncts evaluable once Var is bound
+}
+
+// Plan is an executable query plan.
+type Plan struct {
+	Nodes     []Node
+	Universal []*sema.Var // universally quantified variables
+	// Final holds residual existential conjuncts not pushed to any node.
+	Final []sema.Expr
+	// ForAll holds conjuncts that mention universal variables; a binding
+	// survives only if they hold for every combination of universal
+	// bindings.
+	ForAll []sema.Expr
+}
+
+// Stats estimates extent cardinalities for join ordering. The object
+// store implements it.
+type Stats interface {
+	EstimateLen(extent string) int
+}
+
+// Options control optimization; the zero value enables everything.
+// Disabling yields the naive plan (original variable order, no pushdown,
+// no index selection) used as the baseline in the optimizer benchmarks.
+type Options struct {
+	NoPushdown    bool
+	NoIndexSelect bool
+	NoReorder     bool
+}
+
+// Build lowers a checked query to a plan under the given options.
+func Build(cat *catalog.Catalog, stats Stats, q sema.Query, opt Options) *Plan {
+	p := &Plan{}
+	var exist []*sema.Var
+	for _, v := range q.Vars {
+		if v.Universal {
+			p.Universal = append(p.Universal, v)
+		} else {
+			exist = append(exist, v)
+		}
+	}
+	conjs := splitConjuncts(q.Where)
+
+	// Separate universal conjuncts.
+	var existConjs []sema.Expr
+	for _, cj := range conjs {
+		if mentionsUniversal(cj) {
+			p.ForAll = append(p.ForAll, cj)
+		} else {
+			existConjs = append(existConjs, cj)
+		}
+	}
+
+	order := exist
+	if !opt.NoReorder {
+		order = reorder(exist, stats)
+	}
+	for _, v := range order {
+		p.Nodes = append(p.Nodes, Node{Var: v})
+	}
+
+	if opt.NoPushdown {
+		p.Final = existConjs
+	} else {
+		// Rule: attach each conjunct at the earliest node where every
+		// variable it mentions is bound.
+		bound := map[*sema.Var]bool{}
+		for i := range p.Nodes {
+			bound[p.Nodes[i].Var] = true
+			for _, cj := range existConjs {
+				if cj == nil {
+					continue
+				}
+				if at := earliestNode(cj, p.Nodes[:i+1], bound); at == i {
+					p.Nodes[i].Filter = append(p.Nodes[i].Filter, cj)
+				}
+			}
+		}
+		for _, cj := range existConjs {
+			if !mentionsAnyVar(cj) {
+				p.Final = append(p.Final, cj) // constant predicates
+			}
+		}
+	}
+
+	if !opt.NoIndexSelect {
+		for i := range p.Nodes {
+			selectAccessPath(cat, &p.Nodes[i])
+		}
+	}
+	return p
+}
+
+// splitConjuncts flattens a predicate into AND-ed conjuncts.
+func splitConjuncts(e sema.Expr) []sema.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sema.Binary); ok && b.Op == "and" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sema.Expr{e}
+}
+
+// varsOf collects the range variables an expression mentions.
+func varsOf(e sema.Expr) map[*sema.Var]bool {
+	out := map[*sema.Var]bool{}
+	sema.WalkExpr(e, func(x sema.Expr) {
+		if vr, ok := x.(*sema.VarRef); ok {
+			out[vr.Var] = true
+		}
+	})
+	return out
+}
+
+func mentionsUniversal(e sema.Expr) bool {
+	for v := range varsOf(e) {
+		if v.Universal {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsAnyVar(e sema.Expr) bool { return len(varsOf(e)) > 0 }
+
+// earliestNode returns the index of the node at which all variables of
+// the conjunct are bound, or -1 if some variable is not bound yet. nodes
+// is the prefix ending at the candidate node.
+func earliestNode(e sema.Expr, nodes []Node, bound map[*sema.Var]bool) int {
+	need := varsOf(e)
+	if len(need) == 0 {
+		return -1 // constant predicate: goes to Final
+	}
+	last := -1
+	for v := range need {
+		if !bound[v] {
+			return -1
+		}
+		for i := range nodes {
+			if nodes[i].Var == v && i > last {
+				last = i
+			}
+		}
+	}
+	if last == len(nodes)-1 {
+		return last
+	}
+	return -1 // bound strictly earlier; an earlier call attached it
+}
+
+// reorder places extent variables cheapest-first while keeping nested
+// variables after their parents (a greedy cost-ordered topological sort —
+// the join-ordering rule).
+func reorder(vars []*sema.Var, stats Stats) []*sema.Var {
+	placed := map[*sema.Var]bool{}
+	var out []*sema.Var
+	cost := func(v *sema.Var) int {
+		switch v.Kind {
+		case sema.VarExtent:
+			if stats != nil {
+				return stats.EstimateLen(v.Extent)
+			}
+			return 1000
+		default:
+			return 1 // nested/db-path variables are cheap once parents bound
+		}
+	}
+	ready := func(v *sema.Var) bool {
+		return v.Parent == nil || placed[v.Parent]
+	}
+	for len(out) < len(vars) {
+		var best *sema.Var
+		bestCost := 0
+		for _, v := range vars {
+			if placed[v] || !ready(v) {
+				continue
+			}
+			c := cost(v)
+			if best == nil || c < bestCost {
+				best, bestCost = v, c
+			}
+		}
+		if best == nil {
+			// Cycle cannot happen (parents precede children in bind
+			// order); fall back defensively.
+			for _, v := range vars {
+				if !placed[v] {
+					best = v
+					break
+				}
+			}
+		}
+		placed[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// methodTable maps comparison operators to index applicability — the
+// paper's table-driven linkage of operators to access methods. "!=" is
+// deliberately absent: it cannot bound a B+-tree probe.
+var methodTable = map[string]struct {
+	lo, hi       bool // does the constant bound the range from below/above
+	incLo, incHi bool
+	eq           bool
+}{
+	"=":  {eq: true},
+	"<":  {hi: true},
+	"<=": {hi: true, incHi: true},
+	">":  {lo: true},
+	">=": {lo: true, incLo: true},
+}
+
+// selectAccessPath upgrades a heap scan to an index probe when one of
+// the node's own conjuncts matches an index on its extent. The conjunct
+// remains in the filter: re-checking fetched objects keeps the probe an
+// over-approximation, which is always safe.
+func selectAccessPath(cat *catalog.Catalog, n *Node) {
+	if n.Var.Kind != sema.VarExtent {
+		return
+	}
+	indexes := cat.IndexesOn(n.Var.Extent)
+	if len(indexes) == 0 {
+		return
+	}
+	for _, cj := range n.Filter {
+		b, ok := cj.(*sema.Binary)
+		if !ok || b.Class != sema.OpCompare {
+			continue
+		}
+		pathSide, constSide, op := b.L, b.R, b.Op
+		key, kOK := constKey(constSide)
+		if !kOK {
+			// Try the mirrored form "const op path".
+			if key, kOK = constKey(pathSide); !kOK {
+				continue
+			}
+			pathSide = b.R
+			op = mirror(op)
+		}
+		attrs, pOK := indexablePath(pathSide, n.Var)
+		if !pOK {
+			continue
+		}
+		m, mOK := methodTable[op]
+		if !mOK {
+			continue
+		}
+		for _, ix := range indexes {
+			if !samePath(ix.Path, attrs) {
+				continue
+			}
+			ap := &AccessPath{Index: ix, FromPred: op}
+			switch {
+			case m.eq:
+				ap.Lo, ap.Hi, ap.IncLo, ap.IncHi = key, key, true, true
+			case m.lo:
+				ap.Lo, ap.IncLo = key, m.incLo
+			case m.hi:
+				ap.Hi, ap.IncHi = key, m.incHi
+			}
+			n.Access = ap
+			return
+		}
+	}
+}
+
+func mirror(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// constKey encodes a constant comparison operand as an index key. ADT
+// member functions are side-effect free by the paper's convention, so a
+// call whose arguments are all literals ("date(\"04/01/1987\")") folds
+// to a constant at plan time.
+func constKey(e sema.Expr) ([]byte, bool) {
+	v, ok := constValue(e)
+	if !ok || value.IsNull(v) {
+		return nil, false
+	}
+	return codec.EncodeKey(v)
+}
+
+func constValue(e sema.Expr) (value.Value, bool) {
+	switch x := e.(type) {
+	case *sema.Const:
+		return x.Val, true
+	case *sema.ADTCall:
+		args := make([]value.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, ok := constValue(a)
+			if !ok {
+				return nil, false
+			}
+			args[i] = v
+		}
+		v, err := x.Fn.Impl(args)
+		if err != nil {
+			return nil, false
+		}
+		return v, true
+	}
+	return nil, false
+}
+
+// indexablePath matches a pure own-attribute path rooted at the node's
+// variable.
+func indexablePath(e sema.Expr, v *sema.Var) ([]string, bool) {
+	p, ok := e.(*sema.PathExpr)
+	if !ok {
+		return nil, false
+	}
+	vr, ok := p.Base.(*sema.VarRef)
+	if !ok || vr.Var != v {
+		return nil, false
+	}
+	var attrs []string
+	tt := v.TupleElem()
+	for _, s := range p.Steps {
+		if s.Attr == "" || tt == nil {
+			return nil, false
+		}
+		a, ok := tt.Attr(s.Attr)
+		if !ok || a.Comp.Mode != types.Own {
+			return nil, false
+		}
+		attrs = append(attrs, s.Attr)
+		tt, _ = a.Comp.Type.(*types.TupleType)
+	}
+	return attrs, len(attrs) > 0
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/catalog"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+	"repro/internal/excess/sema"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// fixture: Employees (big) and Departments (small) with an index on
+// Employees.salary.
+type fixture struct {
+	cat     *catalog.Catalog
+	session *sema.Session
+}
+
+type fakeStats map[string]int
+
+func (f fakeStats) EstimateLen(name string) int { return f[name] }
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	cat := catalog.New(adt.NewRegistry())
+	dept := types.MustTupleType("Department", nil, []types.Attr{
+		{Name: "dname", Comp: types.Component{Mode: types.Own, Type: types.Varchar}},
+		{Name: "floor", Comp: types.Component{Mode: types.Own, Type: types.Int4}},
+	})
+	emp := types.MustTupleType("Employee", nil, []types.Attr{
+		{Name: "name", Comp: types.Component{Mode: types.Own, Type: types.Varchar}},
+		{Name: "salary", Comp: types.Component{Mode: types.Own, Type: types.Int4}},
+		{Name: "dept", Comp: types.Component{Mode: types.RefTo, Type: dept}},
+		{Name: "kids", Comp: types.Component{Mode: types.Own, Type: &types.Set{
+			Elem: types.Component{Mode: types.OwnRef, Type: emptyPerson()}}}},
+	})
+	cat.DefineTuple(dept)
+	cat.DefineTuple(emp)
+	mkSet := func(tt *types.TupleType) types.Component {
+		return types.Component{Mode: types.Own, Type: &types.Set{
+			Elem: types.Component{Mode: types.Own, Type: tt}}}
+	}
+	cat.CreateVar("Employees", mkSet(emp))
+	cat.CreateVar("Departments", mkSet(dept))
+	cat.AddIndex(&catalog.Index{Name: "emp_sal", Extent: "Employees", Path: []string{"salary"}, Tree: storage.NewBTree()})
+	return &fixture{cat: cat, session: sema.NewSession()}
+}
+
+func emptyPerson() *types.TupleType {
+	return types.MustTupleType("KidP", nil, []types.Attr{
+		{Name: "kname", Comp: types.Component{Mode: types.Own, Type: types.Varchar}},
+	})
+}
+
+func (f *fixture) check(t *testing.T, src string) *sema.CheckedRetrieve {
+	t.Helper()
+	st, err := parse.One(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := sema.NewChecker(f.cat, f.session, nil)
+	cq, err := ck.CheckRetrieve(st.(*ast.Retrieve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+func TestPushdown(t *testing.T) {
+	f := newFixture(t)
+	cq := f.check(t, `retrieve (E.name, D.dname) from E in Employees, D in Departments where E.salary > 10 and D.floor = 2 and E.dept is D`)
+	stats := fakeStats{"Employees": 1000, "Departments": 10}
+	p := Build(f.cat, stats, cq.Query, Options{})
+	if len(p.Nodes) != 2 {
+		t.Fatalf("nodes: %d", len(p.Nodes))
+	}
+	// Reordering: Departments (10) scans before Employees (1000).
+	if p.Nodes[0].Var.Extent != "Departments" {
+		t.Errorf("cheapest-first ordering: %s first", p.Nodes[0].Var.Extent)
+	}
+	// Single-variable conjuncts sit on their own node; the join conjunct
+	// lands on the later node.
+	if len(p.Nodes[0].Filter) != 1 {
+		t.Errorf("Departments filters: %d", len(p.Nodes[0].Filter))
+	}
+	if len(p.Nodes[1].Filter) != 2 {
+		t.Errorf("Employees filters: %d", len(p.Nodes[1].Filter))
+	}
+	if len(p.Final) != 0 {
+		t.Errorf("residual conjuncts: %d", len(p.Final))
+	}
+}
+
+func TestNoOptimization(t *testing.T) {
+	f := newFixture(t)
+	cq := f.check(t, `retrieve (E.name) from E in Employees, D in Departments where E.salary > 10 and D.floor = 2`)
+	p := Build(f.cat, fakeStats{"Employees": 1000, "Departments": 10}, cq.Query,
+		Options{NoPushdown: true, NoIndexSelect: true, NoReorder: true})
+	if p.Nodes[0].Var.Extent != "Employees" {
+		t.Error("NoReorder changed variable order")
+	}
+	for i := range p.Nodes {
+		if len(p.Nodes[i].Filter) != 0 {
+			t.Error("NoPushdown attached filters")
+		}
+		if p.Nodes[i].Access != nil {
+			t.Error("NoIndexSelect chose an index")
+		}
+	}
+	if len(p.Final) != 2 {
+		t.Errorf("final conjuncts: %d", len(p.Final))
+	}
+}
+
+func TestIndexSelection(t *testing.T) {
+	f := newFixture(t)
+	cases := []struct {
+		src    string
+		expect bool
+	}{
+		{`retrieve (E.name) from E in Employees where E.salary = 50`, true},
+		{`retrieve (E.name) from E in Employees where E.salary > 50`, true},
+		{`retrieve (E.name) from E in Employees where 50 <= E.salary`, true},
+		{`retrieve (E.name) from E in Employees where E.salary != 50`, false}, // method table excludes !=
+		{`retrieve (E.name) from E in Employees where E.name = "x"`, false},   // no index on name
+	}
+	for _, c := range cases {
+		cq := f.check(t, c.src)
+		p := Build(f.cat, nil, cq.Query, Options{})
+		got := p.Nodes[0].Access != nil
+		if got != c.expect {
+			t.Errorf("%s: access path = %v, want %v", c.src, got, c.expect)
+		}
+		if got {
+			// The conjunct must remain as a re-check filter.
+			if len(p.Nodes[0].Filter) == 0 {
+				t.Errorf("%s: index probe dropped the filter", c.src)
+			}
+		}
+	}
+	// Mirrored bound orientation: "50 <= E.salary" is a lower bound.
+	cq := f.check(t, `retrieve (E.name) from E in Employees where 50 <= E.salary`)
+	p := Build(f.cat, nil, cq.Query, Options{})
+	ap := p.Nodes[0].Access
+	if ap == nil || ap.Lo == nil || ap.Hi != nil || !ap.IncLo {
+		t.Errorf("mirrored bound: %+v", ap)
+	}
+}
+
+func TestNestedAfterParent(t *testing.T) {
+	f := newFixture(t)
+	cq := f.check(t, `retrieve (K.kname) from E in Employees, K in E.kids where E.salary > 10`)
+	p := Build(f.cat, fakeStats{"Employees": 5}, cq.Query, Options{})
+	if len(p.Nodes) != 2 || p.Nodes[0].Var.Name != "E" || p.Nodes[1].Var.Name != "K" {
+		t.Fatalf("nested ordering: %s then %s", p.Nodes[0].Var.Name, p.Nodes[1].Var.Name)
+	}
+}
+
+func TestUniversalSeparation(t *testing.T) {
+	f := newFixture(t)
+	f.session.Declare(&ast.RangeDecl{Var: "AE", All: true, Src: &ast.Path{Root: "Employees"}})
+	cq := f.check(t, `retrieve (D.dname) from D in Departments where AE.salary > 10 and D.floor = 1`)
+	p := Build(f.cat, nil, cq.Query, Options{})
+	if len(p.Universal) != 1 || p.Universal[0].Name != "AE" {
+		t.Fatalf("universal vars: %+v", p.Universal)
+	}
+	if len(p.ForAll) != 1 {
+		t.Errorf("forall conjuncts: %d", len(p.ForAll))
+	}
+	// The existential conjunct is still pushed to the D node.
+	if len(p.Nodes) != 1 || len(p.Nodes[0].Filter) != 1 {
+		t.Error("existential conjunct misplaced")
+	}
+}
+
+func TestConstantPredicate(t *testing.T) {
+	f := newFixture(t)
+	cq := f.check(t, `retrieve (E.name) from E in Employees where 1 = 2`)
+	p := Build(f.cat, nil, cq.Query, Options{})
+	if len(p.Final) != 1 {
+		t.Errorf("constant predicate should be residual: %d", len(p.Final))
+	}
+}
+
+func TestConstantFoldedIndexBound(t *testing.T) {
+	f := newFixture(t)
+	// An ADT constructor with literal arguments folds to an index bound.
+	f.cat.AddIndex(&catalog.Index{Name: "emp_day", Extent: "Employees", Path: []string{"salary"}, Tree: storage.NewBTree()})
+	cq := f.check(t, `retrieve (E.name) from E in Employees where E.salary = year(date("04/01/1987"))`)
+	p := Build(f.cat, nil, cq.Query, Options{})
+	if p.Nodes[0].Access == nil {
+		t.Fatal("folded ADT constant did not select the index")
+	}
+}

@@ -1,0 +1,238 @@
+// Package authz implements the System R / IDM style authorization the
+// paper sketches in §4.2.3: individual users and user groups (including
+// the special all-users group), with select/update privileges granted and
+// revoked on database variables. Data abstraction falls out of the same
+// mechanism: granting access to a schema type only through its EXCESS
+// functions and procedures makes the type an abstract data type in its
+// own right.
+package authz
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Priv is a privilege bit set.
+type Priv uint8
+
+// Privilege bits.
+const (
+	Select Priv = 1 << iota
+	Update
+
+	All = Select | Update
+)
+
+// ParsePriv maps the surface privilege names.
+func ParsePriv(s string) (Priv, error) {
+	switch s {
+	case "select":
+		return Select, nil
+	case "update":
+		return Update, nil
+	case "all":
+		return All, nil
+	}
+	return 0, fmt.Errorf("unknown privilege %q", s)
+}
+
+// String renders the privilege set.
+func (p Priv) String() string {
+	switch p {
+	case Select:
+		return "select"
+	case Update:
+		return "update"
+	case All:
+		return "all"
+	case 0:
+		return "none"
+	}
+	return fmt.Sprintf("priv(%d)", uint8(p))
+}
+
+// AllUsers is the name of the built-in group containing every user.
+const AllUsers = "all_users"
+
+// Authorizer tracks users, groups and grants. It is safe for concurrent
+// use.
+type Authorizer struct {
+	mu      sync.RWMutex
+	users   map[string]bool
+	groups  map[string]map[string]bool // group -> members
+	grants  map[string]map[string]Priv // object -> principal -> privs
+	owners  map[string]string          // object -> owning user
+	enabled bool
+}
+
+// New returns an authorizer with the dba user pre-created. Enforcement
+// starts disabled (single-user mode) and is switched on with Enable —
+// matching how a freshly initialized database behaves.
+func New() *Authorizer {
+	a := &Authorizer{
+		users:  map[string]bool{"dba": true},
+		groups: map[string]map[string]bool{AllUsers: {"dba": true}},
+		grants: map[string]map[string]Priv{},
+		owners: map[string]string{},
+	}
+	return a
+}
+
+// Enable switches enforcement on.
+func (a *Authorizer) Enable() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.enabled = true
+}
+
+// Enabled reports whether enforcement is on.
+func (a *Authorizer) Enabled() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.enabled
+}
+
+// CreateUser registers a user and adds it to the all-users group.
+func (a *Authorizer) CreateUser(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.users[name] {
+		return fmt.Errorf("user %s already exists", name)
+	}
+	a.users[name] = true
+	a.groups[AllUsers][name] = true
+	return nil
+}
+
+// CreateGroup registers a group.
+func (a *Authorizer) CreateGroup(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.groups[name]; dup {
+		return fmt.Errorf("group %s already exists", name)
+	}
+	a.groups[name] = map[string]bool{}
+	return nil
+}
+
+// AddToGroup adds a user to a group.
+func (a *Authorizer) AddToGroup(user, group string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.users[user] {
+		return fmt.Errorf("no user %s", user)
+	}
+	g, ok := a.groups[group]
+	if !ok {
+		return fmt.Errorf("no group %s", group)
+	}
+	g[user] = true
+	return nil
+}
+
+// UserExists reports whether the user is known.
+func (a *Authorizer) UserExists(name string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.users[name]
+}
+
+// SetOwner records the creator of a database object; owners hold all
+// privileges implicitly and may grant them.
+func (a *Authorizer) SetOwner(object, user string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.owners[object] = user
+}
+
+// Owner returns the recorded owner of an object.
+func (a *Authorizer) Owner(object string) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.owners[object]
+}
+
+// Grant adds privileges on an object for a user or group. Only the
+// object's owner (or dba) may grant.
+func (a *Authorizer) Grant(granter, priv, object string, to []string) error {
+	p, err := ParsePriv(priv)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.enabled && granter != "dba" && a.owners[object] != granter {
+		return fmt.Errorf("%s does not own %s", granter, object)
+	}
+	for _, who := range to {
+		if !a.users[who] {
+			if _, isGroup := a.groups[who]; !isGroup {
+				return fmt.Errorf("no user or group %s", who)
+			}
+		}
+		m, ok := a.grants[object]
+		if !ok {
+			m = map[string]Priv{}
+			a.grants[object] = m
+		}
+		m[who] |= p
+	}
+	return nil
+}
+
+// Revoke removes privileges.
+func (a *Authorizer) Revoke(revoker, priv, object string, from []string) error {
+	p, err := ParsePriv(priv)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.enabled && revoker != "dba" && a.owners[object] != revoker {
+		return fmt.Errorf("%s does not own %s", revoker, object)
+	}
+	for _, who := range from {
+		if m, ok := a.grants[object]; ok {
+			m[who] &^= p
+		}
+	}
+	return nil
+}
+
+// Check reports whether the user holds the privilege on the object.
+// When enforcement is disabled everything is allowed; the dba and the
+// object's owner always pass.
+func (a *Authorizer) Check(user, object string, p Priv) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.enabled || user == "dba" || a.owners[object] == user {
+		return nil
+	}
+	have := a.grants[object][user]
+	for g, members := range a.groups {
+		if members[user] {
+			have |= a.grants[object][g]
+		}
+	}
+	if have&p == p {
+		return nil
+	}
+	return fmt.Errorf("user %s lacks %s on %s", user, p, object)
+}
+
+// Grants lists the grants on an object, sorted by principal, for
+// catalog display.
+func (a *Authorizer) Grants(object string) []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	m := a.grants[object]
+	out := make([]string, 0, len(m))
+	for who, p := range m {
+		if p != 0 {
+			out = append(out, who+": "+p.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,147 @@
+package authz
+
+import "testing"
+
+func TestParsePriv(t *testing.T) {
+	for s, want := range map[string]Priv{"select": Select, "update": Update, "all": All} {
+		got, err := ParsePriv(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePriv(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePriv("drop"); err == nil {
+		t.Error("bad privilege accepted")
+	}
+	if Select.String() != "select" || All.String() != "all" || Priv(0).String() != "none" {
+		t.Error("priv display")
+	}
+}
+
+func TestDisabledAllowsAll(t *testing.T) {
+	a := New()
+	if err := a.Check("anyone", "anything", All); err != nil {
+		t.Errorf("disabled enforcement rejected: %v", err)
+	}
+	a.Enable()
+	if !a.Enabled() {
+		t.Error("Enable did not stick")
+	}
+	if err := a.Check("anyone", "anything", Select); err == nil {
+		t.Error("enabled enforcement allowed stranger")
+	}
+}
+
+func TestUsersAndGroups(t *testing.T) {
+	a := New()
+	if err := a.CreateUser("carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateUser("carol"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if !a.UserExists("carol") || a.UserExists("nobody") {
+		t.Error("UserExists wrong")
+	}
+	if err := a.CreateGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateGroup("g"); err == nil {
+		t.Error("duplicate group accepted")
+	}
+	if err := a.AddToGroup("carol", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddToGroup("nobody", "g"); err == nil {
+		t.Error("adding missing user accepted")
+	}
+	if err := a.AddToGroup("carol", "nogroup"); err == nil {
+		t.Error("adding to missing group accepted")
+	}
+}
+
+func TestGrantPaths(t *testing.T) {
+	a := New()
+	a.CreateUser("carol")
+	a.CreateUser("bob")
+	a.CreateGroup("g")
+	a.AddToGroup("bob", "g")
+	a.SetOwner("T", "carol")
+	a.Enable()
+
+	// Owner and dba always pass.
+	if err := a.Check("carol", "T", All); err != nil {
+		t.Error("owner rejected")
+	}
+	if err := a.Check("dba", "T", All); err != nil {
+		t.Error("dba rejected")
+	}
+	// Direct grant.
+	if err := a.Grant("carol", "select", "T", []string{"bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check("bob", "T", Select); err != nil {
+		t.Error("granted select rejected")
+	}
+	if err := a.Check("bob", "T", Update); err == nil {
+		t.Error("ungranted update allowed")
+	}
+	// Group grant.
+	a.CreateUser("dana")
+	a.AddToGroup("dana", "g")
+	if err := a.Grant("carol", "update", "T", []string{"g"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check("dana", "T", Update); err != nil {
+		t.Error("group grant rejected")
+	}
+	// All-users grant.
+	a.CreateUser("eve")
+	a.Grant("carol", "select", "T", []string{AllUsers})
+	if err := a.Check("eve", "T", Select); err != nil {
+		t.Error("all-users grant rejected")
+	}
+	// Non-owners cannot grant.
+	if err := a.Grant("bob", "select", "T", []string{"eve"}); err == nil {
+		t.Error("non-owner grant accepted")
+	}
+	// Grant to unknown principal fails.
+	if err := a.Grant("carol", "select", "T", []string{"ghost"}); err == nil {
+		t.Error("grant to ghost accepted")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	a := New()
+	a.CreateUser("bob")
+	a.SetOwner("T", "dba")
+	a.Enable()
+	a.Grant("dba", "all", "T", []string{"bob"})
+	if err := a.Check("bob", "T", All); err != nil {
+		t.Fatal(err)
+	}
+	a.Revoke("dba", "update", "T", []string{"bob"})
+	if err := a.Check("bob", "T", Select); err != nil {
+		t.Error("select lost with update revoke")
+	}
+	if err := a.Check("bob", "T", Update); err == nil {
+		t.Error("revoked update allowed")
+	}
+	if err := a.Revoke("bob", "select", "T", []string{"bob"}); err == nil {
+		t.Error("non-owner revoke accepted")
+	}
+}
+
+func TestGrantsListing(t *testing.T) {
+	a := New()
+	a.CreateUser("bob")
+	a.CreateUser("amy")
+	a.Grant("dba", "select", "T", []string{"bob"})
+	a.Grant("dba", "all", "T", []string{"amy"})
+	gs := a.Grants("T")
+	if len(gs) != 2 || gs[0] != "amy: all" || gs[1] != "bob: select" {
+		t.Errorf("Grants = %v", gs)
+	}
+	if a.Owner("T") != "" {
+		t.Error("unowned object has owner")
+	}
+}

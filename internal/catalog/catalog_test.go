@@ -1,0 +1,234 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func newCat() *Catalog { return New(adt.NewRegistry()) }
+
+func defineVia(t *testing.T, c *Catalog, src string) *types.TupleType {
+	t.Helper()
+	st, err := parse.One(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := c.DefineTupleFromAST(st.(*ast.DefineType))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestNameCollisions(t *testing.T) {
+	c := newCat()
+	defineVia(t, c, `define type Person: ( name: varchar )`)
+	if err := c.DefineEnum(&types.Enum{Name: "Person"}); err == nil {
+		t.Error("enum colliding with type accepted")
+	}
+	if _, err := c.CreateVar("Person", types.Component{Mode: types.Own, Type: types.Int4}); err == nil {
+		t.Error("var colliding with type accepted")
+	}
+	// ADT names are reserved too.
+	st, _ := parse.One(`define type Date: ( x: int4 )`, nil)
+	if _, err := c.DefineTupleFromAST(st.(*ast.DefineType)); err == nil {
+		t.Error("type colliding with ADT accepted")
+	}
+}
+
+func TestSelfReference(t *testing.T) {
+	c := newCat()
+	tt := defineVia(t, c, `define type Node: ( v: int4, next: ref Node, children: { own ref Node } )`)
+	a, ok := tt.Attr("next")
+	if !ok || a.Comp.Mode != types.RefTo || a.Comp.Type.(*types.TupleType) != tt {
+		t.Error("self reference broken")
+	}
+	// Failed definitions roll the name back.
+	st, _ := parse.One(`define type Broken: ( x: NoSuchType )`, nil)
+	if _, err := c.DefineTupleFromAST(st.(*ast.DefineType)); err == nil {
+		t.Fatal("broken type accepted")
+	}
+	if _, ok := c.TupleType("Broken"); ok {
+		t.Error("failed definition left a forward declaration behind")
+	}
+	// Self-inheritance is rejected.
+	st, _ = parse.One(`define type Loop inherits Loop: ( x: int4 )`, nil)
+	if _, err := c.DefineTupleFromAST(st.(*ast.DefineType)); err == nil {
+		t.Error("self-inheritance accepted")
+	}
+}
+
+func TestResolveTypeForms(t *testing.T) {
+	c := newCat()
+	person := defineVia(t, c, `define type Person: ( name: varchar )`)
+	c.DefineEnum(&types.Enum{Name: "Color", Labels: []string{"r"}})
+	cases := map[string]string{
+		"int1": "int1", "float8": "float8", "bool": "bool",
+		"varchar": "varchar", "char[7]": "char[7]",
+		"Person": "Person", "Color": "Color", "Date": "Date",
+		"{ own Person }":     "{own Person}",
+		"{ ref Person }":     "{ref Person}",
+		"[5] ref Person":     "[5] ref Person",
+		"[] int4":            "[] int4",
+		"{ own ref Person }": "{own ref Person}",
+	}
+	for src, want := range cases {
+		st, err := parse.One("create X : "+src, nil)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		comp, err := c.ResolveComponent(st.(*ast.Create).Comp)
+		if err != nil {
+			t.Fatalf("resolve %q: %v", src, err)
+		}
+		if comp.Type.String() != want {
+			t.Errorf("%q -> %s, want %s", src, comp.Type, want)
+		}
+	}
+	_ = person
+	// Unknown names error.
+	st, _ := parse.One("create X : Nope", nil)
+	if _, err := c.ResolveComponent(st.(*ast.Create).Comp); err == nil {
+		t.Error("unknown type resolved")
+	}
+	// char without width errors.
+	st, _ = parse.One("create X : char", nil)
+	if _, err := c.ResolveComponent(st.(*ast.Create).Comp); err == nil {
+		t.Error("char without width resolved")
+	}
+}
+
+func TestVariableClassification(t *testing.T) {
+	c := newCat()
+	person := defineVia(t, c, `define type Person: ( name: varchar )`)
+	mk := func(src string) *Variable {
+		st, _ := parse.One("create V"+src, nil)
+		cr := st.(*ast.Create)
+		comp, err := c.ResolveComponent(cr.Comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := &Variable{Name: cr.Name, Comp: comp}
+		return v
+	}
+	if v := mk("1 : { own Person }"); !v.IsObjectSet() || v.IsRefSet() || v.IsValueSet() {
+		t.Error("own set classification")
+	}
+	if v := mk("2 : { own ref Person }"); !v.IsObjectSet() {
+		t.Error("own ref set classification")
+	}
+	if v := mk("3 : { ref Person }"); !v.IsRefSet() || v.IsObjectSet() {
+		t.Error("ref set classification")
+	}
+	if v := mk("4 : { int4 }"); !v.IsValueSet() {
+		t.Error("value set classification")
+	}
+	if v := mk("5 : ref Person"); v.IsObjectSet() || v.IsRefSet() || v.IsValueSet() {
+		t.Error("singleton classification")
+	}
+	_ = person
+}
+
+func TestFunctionLatticeResolution(t *testing.T) {
+	c := newCat()
+	person := defineVia(t, c, `define type Person: ( name: varchar )`)
+	emp := defineVia(t, c, `define type Employee inherits Person: ( salary: int4 )`)
+	mgr := defineVia(t, c, `define type Manager inherits Employee: ( level: int4 )`)
+
+	mkFn := func(recv *types.TupleType) *Function {
+		return &Function{Name: "F", Params: []FuncParam{{Name: "x", Type: recv}},
+			Returns: types.Component{Mode: types.Own, Type: types.Int4},
+			Expr:    &ast.IntLit{V: 1}}
+	}
+	if _, err := c.DefineFunction(mkFn(person)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineFunction(mkFn(emp)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineFunction(mkFn(emp)); err == nil {
+		t.Error("duplicate receiver accepted")
+	}
+	// Manager resolves to the Employee overload (most specific ancestor).
+	fn, ok := c.FindFunction("F", mgr)
+	if !ok || fn.Receiver() != emp {
+		t.Errorf("Manager dispatch -> %v", fn.Receiver())
+	}
+	fn, ok = c.FindFunction("F", person)
+	if !ok || fn.Receiver() != person {
+		t.Error("Person dispatch")
+	}
+	if _, ok := c.FindFunction("F", nil); ok {
+		t.Error("free lookup matched receiver function")
+	}
+	// Unrelated type does not resolve.
+	other := defineVia(t, c, `define type Other: ( o: int4 )`)
+	if _, ok := c.FindFunction("F", other); ok {
+		t.Error("unrelated receiver resolved")
+	}
+}
+
+func TestProceduresAndIndexes(t *testing.T) {
+	c := newCat()
+	if err := c.DefineProcedure(&Procedure{Name: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineProcedure(&Procedure{Name: "P"}); err == nil {
+		t.Error("duplicate procedure accepted")
+	}
+	if _, ok := c.Procedure("P"); !ok {
+		t.Error("procedure lookup")
+	}
+	ix := &Index{Name: "i1", Extent: "E", Path: []string{"a"}, Tree: storage.NewBTree()}
+	if err := c.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(ix); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if got := c.IndexesOn("E"); len(got) != 1 {
+		t.Error("IndexesOn")
+	}
+	if _, ok := c.Index("i1"); !ok {
+		t.Error("Index lookup")
+	}
+}
+
+func TestDropVarRemovesIndexes(t *testing.T) {
+	c := newCat()
+	defineVia(t, c, `define type T0: ( a: int4 )`)
+	st, _ := parse.One(`create E : { own T0 }`, nil)
+	comp, _ := c.ResolveComponent(st.(*ast.Create).Comp)
+	c.CreateVar("E", comp)
+	c.AddIndex(&Index{Name: "ix", Extent: "E", Path: []string{"a"}, Tree: storage.NewBTree()})
+	if err := c.DropVar("E"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("ix"); ok {
+		t.Error("index survived drop")
+	}
+	if err := c.DropVar("E"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestNameListings(t *testing.T) {
+	c := newCat()
+	defineVia(t, c, `define type B1: ( a: int4 )`)
+	defineVia(t, c, `define type A1: ( a: int4 )`)
+	names := c.TupleTypeNames()
+	if strings.Join(names, ",") != "A1,B1" {
+		t.Errorf("TupleTypeNames = %v", names)
+	}
+	c.DefineEnum(&types.Enum{Name: "Zc"})
+	c.DefineEnum(&types.Enum{Name: "Ac"})
+	if got := c.EnumNames(); strings.Join(got, ",") != "Ac,Zc" {
+		t.Errorf("EnumNames = %v", got)
+	}
+}

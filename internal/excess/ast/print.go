@@ -1,0 +1,325 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a statement back to EXCESS surface syntax. It is used by
+// the catalog dump (functions and procedures are stored as AST) and by
+// diagnostic tooling; Parse(Print(s)) is semantically equivalent to s.
+func Print(s Statement) string {
+	var b strings.Builder
+	printStmt(&b, s)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s Statement) {
+	switch x := s.(type) {
+	case *DefineType:
+		b.WriteString("define type " + x.Name)
+		for i, ic := range x.Inherits {
+			if i == 0 {
+				b.WriteString(" inherits ")
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(ic.Super)
+			for j, r := range ic.Renames {
+				if j == 0 {
+					b.WriteString(" with ")
+				} else {
+					b.WriteString(" and ")
+				}
+				b.WriteString(r.Old + " renamed " + r.New)
+			}
+		}
+		b.WriteString(" : ( ")
+		for i, a := range x.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name + ": ")
+			printComponent(b, a.Comp)
+		}
+		b.WriteString(" )")
+	case *DefineEnum:
+		b.WriteString("define enum " + x.Name + " : ( " + strings.Join(x.Labels, ", ") + " )")
+	case *Create:
+		b.WriteString("create " + x.Name + " : ")
+		printComponent(b, x.Comp)
+	case *Drop:
+		b.WriteString("drop " + x.Name)
+	case *DefineFunction:
+		b.WriteString("define ")
+		if x.Late {
+			b.WriteString("late ")
+		}
+		b.WriteString("function " + x.Name + " (")
+		printParams(b, x.Params)
+		b.WriteString(") returns ")
+		printComponent(b, x.Returns)
+		b.WriteString(" as ")
+		if x.Query != nil {
+			printStmt(b, x.Query)
+		} else {
+			b.WriteString("(")
+			printExpr(b, x.Expr)
+			b.WriteString(")")
+		}
+	case *DefineProcedure:
+		b.WriteString("define procedure " + x.Name + " (")
+		printParams(b, x.Params)
+		b.WriteString(") as ")
+		for i, st := range x.Body {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			printStmt(b, st)
+		}
+	case *DefineIndex:
+		b.WriteString("define index " + x.Name + " on " + x.Extent + " (" + strings.Join(x.Path, ".") + ")")
+	case *RangeDecl:
+		b.WriteString("range of " + x.Var + " is ")
+		if x.All {
+			b.WriteString("all ")
+		}
+		printPath(b, x.Src)
+	case *Retrieve:
+		b.WriteString("retrieve ")
+		if x.Into != "" {
+			b.WriteString("into " + x.Into + " ")
+		}
+		b.WriteString("(")
+		for i, t := range x.Targets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if t.Name != "" {
+				b.WriteString(t.Name + " = ")
+			}
+			printExpr(b, t.Expr)
+		}
+		b.WriteString(")")
+		printFromWhere(b, x.From, x.Where)
+	case *Append:
+		b.WriteString("append to ")
+		printPath(b, x.To)
+		b.WriteString(" (")
+		if len(x.Fields) > 0 {
+			printFields(b, x.Fields)
+		} else {
+			printExpr(b, x.Value)
+		}
+		b.WriteString(")")
+		printFromWhere(b, x.From, x.Where)
+	case *Delete:
+		b.WriteString("delete " + x.Var)
+		printFromWhere(b, x.From, x.Where)
+	case *Replace:
+		b.WriteString("replace " + x.Var + " (")
+		printFields(b, x.Fields)
+		b.WriteString(")")
+		printFromWhere(b, x.From, x.Where)
+	case *SetStmt:
+		b.WriteString("set ")
+		printPath(b, x.LHS)
+		b.WriteString(" = ")
+		printExpr(b, x.RHS)
+		printFromWhere(b, x.From, x.Where)
+	case *Execute:
+		b.WriteString("execute " + x.Name + " (")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteString(")")
+		printFromWhere(b, x.From, x.Where)
+	case *Grant:
+		b.WriteString("grant " + x.Priv + " on " + x.On + " to " + strings.Join(x.To, ", "))
+	case *Revoke:
+		b.WriteString("revoke " + x.Priv + " on " + x.On + " from " + strings.Join(x.From, ", "))
+	default:
+		fmt.Fprintf(b, "<%T>", s)
+	}
+}
+
+func printParams(b *strings.Builder, params []Param) {
+	for i, p := range params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name + ": ")
+		printType(b, p.Type)
+	}
+}
+
+func printFields(b *strings.Builder, fs []FieldAssign) {
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name + " = ")
+		printExpr(b, f.Expr)
+	}
+}
+
+func printFromWhere(b *strings.Builder, from []FromBinding, where Expr) {
+	for i, f := range from {
+		if i == 0 {
+			b.WriteString(" from ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Var + " in ")
+		printPath(b, f.Src)
+	}
+	if where != nil {
+		b.WriteString(" where ")
+		printExpr(b, where)
+	}
+}
+
+func printComponent(b *strings.Builder, c *ComponentExpr) {
+	if c.Mode != "" && c.Mode != "own" {
+		b.WriteString(c.Mode + " ")
+	} else if _, isNamed := c.Type.(*NamedType); isNamed && c.Mode == "own" {
+		// "own" is the default; render it only where the paper does (set
+		// and array elements render it via their own component).
+	}
+	printType(b, c.Type)
+}
+
+func printType(b *strings.Builder, t TypeExpr) {
+	switch x := t.(type) {
+	case *NamedType:
+		b.WriteString(x.Name)
+		if x.Width > 0 {
+			b.WriteString("[" + strconv.Itoa(x.Width) + "]")
+		}
+	case *SetType:
+		b.WriteString("{ ")
+		if x.Elem.Mode == "own" {
+			b.WriteString("own ")
+		}
+		printComponent(b, x.Elem)
+		b.WriteString(" }")
+	case *ArrayType:
+		if x.Fixed {
+			b.WriteString("[" + strconv.Itoa(x.Len) + "] ")
+		} else {
+			b.WriteString("[] ")
+		}
+		if x.Elem.Mode == "own" {
+			b.WriteString("own ")
+		}
+		printComponent(b, x.Elem)
+	case *RefType:
+		b.WriteString("ref " + x.Target)
+	}
+}
+
+func printPath(b *strings.Builder, p *Path) {
+	b.WriteString(p.Root)
+	if p.RootIndex != nil {
+		b.WriteString("[")
+		printExpr(b, p.RootIndex)
+		b.WriteString("]")
+	}
+	for _, st := range p.Steps {
+		b.WriteString("." + st.Name)
+		if st.Index != nil {
+			b.WriteString("[")
+			printExpr(b, st.Index)
+			b.WriteString("]")
+		}
+	}
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("true")
+	case *IntLit:
+		b.WriteString(strconv.FormatInt(x.V, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *StrLit:
+		b.WriteString(strconv.Quote(x.V))
+	case *BoolLit:
+		if x.V {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *NullLit:
+		b.WriteString("null")
+	case *Path:
+		printPath(b, x)
+	case *Unary:
+		b.WriteString(x.Op)
+		if x.Op == "not" {
+			b.WriteString(" ")
+		}
+		b.WriteString("(")
+		printExpr(b, x.X)
+		b.WriteString(")")
+	case *Binary:
+		b.WriteString("(")
+		printExpr(b, x.L)
+		b.WriteString(" " + x.Op + " ")
+		printExpr(b, x.R)
+		b.WriteString(")")
+	case *Call:
+		if x.Recv != nil {
+			printExpr(b, x.Recv)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteString(")")
+	case *Aggregate:
+		b.WriteString(x.Op + "(")
+		printExpr(b, x.Arg)
+		for i, g := range x.By {
+			if i == 0 {
+				b.WriteString(" by ")
+			} else {
+				b.WriteString(", ")
+			}
+			printExpr(b, g)
+		}
+		if x.Over != nil {
+			b.WriteString(" over ")
+			printExpr(b, x.Over)
+		}
+		b.WriteString(")")
+	case *SetLit:
+		b.WriteString("{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, el)
+		}
+		b.WriteString("}")
+	case *TupleLit:
+		b.WriteString(x.TypeName + "(")
+		printFields(b, x.Fields)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}

@@ -1,0 +1,89 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+// TestNoPanicOnGarbage feeds the scanner+parser pseudo-random byte soup
+// and statement-shaped mutations; parsing must return errors, never
+// panic or hang.
+func TestNoPanicOnGarbage(t *testing.T) {
+	reg := adt.NewRegistry()
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("abzE .,(){}[]\"\\=<>+-*/%:;0123456789\n\tretrieve from where define type")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Statements(src, reg) //nolint:errcheck
+		}()
+	}
+}
+
+// TestNoPanicOnMutatedStatements mutates valid statements byte by byte.
+func TestNoPanicOnMutatedStatements(t *testing.T) {
+	reg := adt.NewRegistry()
+	rng := rand.New(rand.NewSource(11))
+	seeds := []string{
+		`define type Person: ( name: char[20], kids: { own ref Person } )`,
+		`retrieve (E.name, sal = E.salary) from E in Employees where E.dept.floor = 2 and count(E.kids) > 0`,
+		`append to E.kids (name = "x") from E in Employees where E.name = "A"`,
+		`set TopTen[1] = E from E in Employees where avg(E.salary by E.dept) > 3`,
+		`define procedure P (a: int4) as replace E (x = a) where E.y = a`,
+	}
+	for _, seed := range seeds {
+		for i := 0; i < 400; i++ {
+			b := []byte(seed)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				pos := rng.Intn(len(b))
+				switch rng.Intn(3) {
+				case 0:
+					b[pos] = byte(rng.Intn(127-32) + 32)
+				case 1:
+					b = append(b[:pos], b[pos+1:]...)
+				case 2:
+					b = append(b[:pos], append([]byte{byte(rng.Intn(127-32) + 32)}, b[pos:]...)...)
+				}
+				if len(b) == 0 {
+					break
+				}
+			}
+			src := string(b)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", src, r)
+					}
+				}()
+				Statements(src, reg) //nolint:errcheck
+			}()
+		}
+	}
+}
+
+// TestDeeplyNestedExpressions: pathological nesting parses (or errors)
+// without stack exhaustion at reasonable depths.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	depth := 2000
+	src := "retrieve (x = " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + ")"
+	if _, err := Statements(src, nil); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+	src = "retrieve (x = " + strings.Repeat("not ", depth) + "true)"
+	if _, err := Statements(src, nil); err != nil {
+		t.Fatalf("deep unary rejected: %v", err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package scan tokenizes EXCESS source text.
+//
+// Keywords are recognized case-insensitively (QUEL heritage); identifiers
+// keep their case. Comments run from "--" to end of line. Operator tokens
+// are maximal runs of operator punctuation, which lets ADT designers
+// introduce new operators ("any legal EXCESS identifier or sequence of
+// punctuation characters", per the paper) without changing the scanner.
+package scan
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/excess/token"
+)
+
+// Scanner tokenizes one source string.
+type Scanner struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a scanner over src.
+func New(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+// opChars are the characters that may form operator tokens.
+const opChars = "+-*/%<>=!&|^~@#?$"
+
+func isOpChar(r rune) bool { return strings.ContainsRune(opChars, r) }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (s *Scanner) peek() rune {
+	if s.pos >= len(s.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(s.src[s.pos:])
+	return r
+}
+
+func (s *Scanner) next() rune {
+	if s.pos >= len(s.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(s.src[s.pos:])
+	s.pos += w
+	if r == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return r
+}
+
+func (s *Scanner) skipSpace() {
+	for {
+		r := s.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			s.next()
+		case r == '-' && strings.HasPrefix(s.src[s.pos:], "--"):
+			for s.peek() != '\n' && s.peek() != -1 {
+				s.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an error on malformed input.
+func (s *Scanner) Next() (token.Token, error) {
+	s.skipSpace()
+	line, col := s.line, s.col
+	r := s.peek()
+	mk := func(k token.Kind, text string) token.Token {
+		return token.Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	switch {
+	case r == -1:
+		return mk(token.EOF, ""), nil
+	case isIdentStart(r):
+		start := s.pos
+		for isIdentCont(s.peek()) {
+			s.next()
+		}
+		word := s.src[start:s.pos]
+		if k, ok := token.Keywords[strings.ToLower(word)]; ok {
+			return mk(k, word), nil
+		}
+		return mk(token.IDENT, word), nil
+	case unicode.IsDigit(r):
+		return s.number(line, col)
+	case r == '"':
+		return s.stringLit(line, col)
+	case isOpChar(r):
+		start := s.pos
+		for isOpChar(s.peek()) {
+			// "--" begins a comment, never an operator tail.
+			if s.peek() == '-' && strings.HasPrefix(s.src[s.pos:], "--") && s.pos > start {
+				break
+			}
+			s.next()
+		}
+		return mk(token.OP, s.src[start:s.pos]), nil
+	}
+	s.next()
+	switch r {
+	case '(':
+		return mk(token.LPAREN, "("), nil
+	case ')':
+		return mk(token.RPAREN, ")"), nil
+	case '{':
+		return mk(token.LBRACE, "{"), nil
+	case '}':
+		return mk(token.RBRACE, "}"), nil
+	case '[':
+		return mk(token.LBRACKET, "["), nil
+	case ']':
+		return mk(token.RBRACKET, "]"), nil
+	case ',':
+		return mk(token.COMMA, ","), nil
+	case ':':
+		return mk(token.COLON, ":"), nil
+	case ';':
+		return mk(token.SEMI, ";"), nil
+	case '.':
+		return mk(token.DOT, "."), nil
+	}
+	return token.Token{}, fmt.Errorf("%d:%d: unexpected character %q", line, col, r)
+}
+
+func (s *Scanner) number(line, col int) (token.Token, error) {
+	start := s.pos
+	for unicode.IsDigit(s.peek()) {
+		s.next()
+	}
+	isFloat := false
+	// A '.' starts a fraction only if a digit follows; otherwise it is a
+	// path dot (e.g. in "TopTen[1].name" the '.' after ']' never reaches
+	// here, but "1.name" should not scan as a float either).
+	if s.peek() == '.' && s.pos+1 < len(s.src) && unicode.IsDigit(rune(s.src[s.pos+1])) {
+		isFloat = true
+		s.next()
+		for unicode.IsDigit(s.peek()) {
+			s.next()
+		}
+	}
+	if s.peek() == 'e' || s.peek() == 'E' {
+		save := s.pos
+		s.next()
+		if s.peek() == '+' || s.peek() == '-' {
+			s.next()
+		}
+		if unicode.IsDigit(s.peek()) {
+			isFloat = true
+			for unicode.IsDigit(s.peek()) {
+				s.next()
+			}
+		} else {
+			s.pos = save // not an exponent; back off
+		}
+	}
+	text := s.src[start:s.pos]
+	if isFloat {
+		return token.Token{Kind: token.FLOAT, Text: text, Line: line, Col: col}, nil
+	}
+	return token.Token{Kind: token.INT, Text: text, Line: line, Col: col}, nil
+}
+
+func (s *Scanner) stringLit(line, col int) (token.Token, error) {
+	s.next() // opening quote
+	var b strings.Builder
+	for {
+		r := s.next()
+		switch r {
+		case -1, '\n':
+			return token.Token{}, fmt.Errorf("%d:%d: unterminated string", line, col)
+		case '"':
+			return token.Token{Kind: token.STRING, Text: b.String(), Line: line, Col: col}, nil
+		case '\\':
+			e := s.next()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteRune(e)
+			default:
+				return token.Token{}, fmt.Errorf("%d:%d: bad escape \\%c", s.line, s.col, e)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// All tokenizes the whole input.
+func All(src string) ([]token.Token, error) {
+	s := New(src)
+	var out []token.Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}

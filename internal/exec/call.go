@@ -1,0 +1,234 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/excess/sema"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// evalFuncCall invokes an EXCESS function. Late functions re-dispatch on
+// the runtime type of the first argument (the paper's virtual-function
+// distinction); early functions run the statically chosen definition.
+func (ex *Executor) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, error) {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := ex.eval(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		// Schema-typed parameters receive objects: a reference argument
+		// is dereferenced (dangling references pass null).
+		if r, isRef := v.(value.Ref); isRef {
+			if _, isTT := c.Fn.Params[i].Type.(*types.TupleType); isTT {
+				tv, live, err := ex.store.Get(r.OID)
+				if err != nil {
+					return nil, err
+				}
+				if live {
+					v = value.Object{OID: r.OID, Tuple: tv}
+				} else {
+					v = value.Null{}
+				}
+			}
+		}
+		args[i] = v
+	}
+	fn := c.Fn
+	if fn.Late && len(args) > 0 {
+		if o, isObj := args[0].(value.Object); isObj && o.Tuple != nil {
+			if dyn, ok := ex.cat.FindFunction(fn.Name, o.Tuple.Type); ok {
+				fn = dyn
+			}
+		}
+	}
+	return ex.callFunction(fn, args)
+}
+
+// callFunction evaluates a function body with the arguments bound as
+// parameters. Bodies are stored as AST (stored-command style) and bound
+// against the current catalog on each call.
+func (ex *Executor) callFunction(fn *catalog.Function, args []value.Value) (value.Value, error) {
+	if ex.depth >= maxCallDepth {
+		return nil, fmt.Errorf("function %s: call depth %d exceeded (recursive derived data?)", fn.Name, maxCallDepth)
+	}
+	if len(args) != len(fn.Params) {
+		return nil, fmt.Errorf("function %s: %d arguments, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	if !fn.HasBody() {
+		return nil, fmt.Errorf("function %s is declared but not defined", fn.Name)
+	}
+	paramTypes := make(map[string]types.Type, len(fn.Params))
+	frame := make(map[string]value.Value, len(fn.Params))
+	for i, p := range fn.Params {
+		paramTypes[p.Name] = p.Type
+		frame[p.Name] = args[i]
+	}
+	ex.depth++
+	ex.params = append(ex.params, frame)
+	defer func() {
+		ex.params = ex.params[:len(ex.params)-1]
+		ex.depth--
+	}()
+
+	body, err := ex.bindBody(fn, paramTypes)
+	if err != nil {
+		return nil, err
+	}
+	if body.expr != nil {
+		v, err := ex.eval(&evalCtx{b: newBinding()}, body.expr)
+		if err != nil {
+			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
+		}
+		return coerceTo(v, fn.Returns), nil
+	}
+	// Retrieve-bodied function: run the query and shape the result by
+	// the declared return component.
+	res, err := ex.Retrieve(body.query)
+	if err != nil {
+		return nil, fmt.Errorf("function %s: %w", fn.Name, err)
+	}
+	if _, isSet := fn.Returns.Type.(*types.Set); isSet {
+		out := &value.Set{}
+		elem, _ := types.ElemOf(fn.Returns.Type)
+		for _, row := range res.Rows {
+			if len(row) > 0 {
+				out.Elems = append(out.Elems, coerceTo(row[0], elem))
+			}
+		}
+		return out, nil
+	}
+	switch len(res.Rows) {
+	case 0:
+		return value.Null{}, nil
+	case 1:
+		if len(res.Rows[0]) == 0 {
+			return value.Null{}, nil
+		}
+		return coerceTo(res.Rows[0][0], fn.Returns), nil
+	default:
+		return nil, fmt.Errorf("function %s returned %d rows for a scalar result", fn.Name, len(res.Rows))
+	}
+}
+
+// bindBody returns the memoized bound body of a function, binding it on
+// first use.
+func (ex *Executor) bindBody(fn *catalog.Function, paramTypes map[string]types.Type) (*boundBody, error) {
+	if b, ok := ex.fnCache[fn]; ok {
+		return b, nil
+	}
+	ck := sema.NewChecker(ex.cat, sema.NewSession(), paramTypes)
+	b := &boundBody{}
+	if fn.Expr != nil {
+		e, err := ck.BindExpr(fn.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
+		}
+		b.expr = e
+	} else {
+		cq, err := ck.CheckRetrieve(fn.Query)
+		if err != nil {
+			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
+		}
+		b.query = cq
+	}
+	ex.fnCache[fn] = b
+	return b, nil
+}
+
+// evalAgg evaluates a set-argument aggregate: its argument is a
+// collection computed for the current binding (count(E.kids),
+// avg(Employees.salary)). Query-level aggregates are computed by the
+// grouped retrieve path and delivered through ctx.aggVals.
+func (ex *Executor) evalAgg(ctx *evalCtx, a *sema.Agg) (value.Value, error) {
+	if !a.SetArg {
+		if ctx.aggVals != nil {
+			if v, ok := ctx.aggVals[a]; ok {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("query-level aggregate %s outside an aggregated retrieve", a.Op)
+	}
+	arg, err := ex.eval(ctx, a.Arg)
+	if err != nil {
+		return nil, err
+	}
+	if value.IsNull(arg) {
+		return foldAgg(a, nil)
+	}
+	elems, ok := elemsOf(arg)
+	if !ok {
+		return nil, fmt.Errorf("aggregate %s over non-collection %s", a.Op, arg)
+	}
+	return foldAgg(a, elems)
+}
+
+// foldAgg folds the elements with the aggregate's operator. Nulls are
+// ignored; count counts non-null elements; empty input yields 0 for
+// count and null for the others (QUEL behaviour).
+func foldAgg(a *sema.Agg, elems []value.Value) (value.Value, error) {
+	var vals []value.Value
+	for _, e := range elems {
+		if !value.IsNull(e) {
+			vals = append(vals, e)
+		}
+	}
+	if a.SetFn != nil {
+		for i, v := range vals {
+			vals[i] = deobject(v)
+		}
+		return a.SetFn.Impl(vals)
+	}
+	switch a.Op {
+	case "count":
+		return value.NewInt(int64(len(vals))), nil
+	case "sum", "avg":
+		if len(vals) == 0 {
+			if a.Op == "sum" {
+				return value.NewInt(0), nil
+			}
+			return value.Null{}, nil
+		}
+		sumF := 0.0
+		sumI := int64(0)
+		allInt := true
+		for _, v := range vals {
+			if iv, isInt := v.(value.Int); isInt {
+				sumI += iv.V
+				sumF += float64(iv.V)
+				continue
+			}
+			allInt = false
+			f, ok := value.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("%s over non-numeric value %s", a.Op, v)
+			}
+			sumF += f
+		}
+		if a.Op == "avg" {
+			return value.NewFloat(sumF / float64(len(vals))), nil
+		}
+		if allInt {
+			return value.NewInt(sumI), nil
+		}
+		return value.NewFloat(sumF), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return value.Null{}, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := value.Compare(deobject(v), deobject(best))
+			if err != nil {
+				return nil, err
+			}
+			if (a.Op == "min" && c < 0) || (a.Op == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("unhandled aggregate %s", a.Op)
+}

@@ -1,0 +1,546 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/excess/sema"
+	oidpkg "repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+const maxCallDepth = 64
+
+// eval evaluates a bound expression in the given context. Nulls
+// propagate: any operation over null yields null (and predicates treat
+// null as false).
+func (ex *Executor) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
+	switch x := e.(type) {
+	case *sema.Const:
+		return x.Val, nil
+	case *sema.VarRef:
+		v, ok := ctx.b.vals[x.Var]
+		if !ok {
+			return nil, fmt.Errorf("variable %s not bound", x.Var.Name)
+		}
+		return v, nil
+	case *sema.ParamRef:
+		for i := len(ex.params) - 1; i >= 0; i-- {
+			if v, ok := ex.params[i][x.Name]; ok {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("parameter %s not bound", x.Name)
+	case *sema.DBVarRead:
+		return ex.store.GetVar(x.Name)
+	case *sema.ExtentSet:
+		return ex.materializeExtent(x.Name)
+	case *sema.PathExpr:
+		return ex.evalPath(ctx, x)
+	case *sema.Unary:
+		return ex.evalUnary(ctx, x)
+	case *sema.Binary:
+		return ex.evalBinary(ctx, x)
+	case *sema.FuncCall:
+		return ex.evalFuncCall(ctx, x)
+	case *sema.ADTCall:
+		return ex.evalADTCall(ctx, x)
+	case *sema.Agg:
+		return ex.evalAgg(ctx, x)
+	case *sema.SetCtor:
+		s := &value.Set{}
+		for _, el := range x.Elems {
+			v, err := ex.eval(ctx, el)
+			if err != nil {
+				return nil, err
+			}
+			s.Elems = append(s.Elems, v)
+		}
+		return s, nil
+	case *sema.TupleCtor:
+		return ex.evalTupleCtor(ctx, x)
+	}
+	return nil, fmt.Errorf("unhandled expression %T", e)
+}
+
+// materializeExtent builds a set value of the extent's members (objects
+// as Objects, elements as values) for whole-extent aggregation.
+func (ex *Executor) materializeExtent(name string) (value.Value, error) {
+	s := &value.Set{}
+	if ex.store.IsObjectExtent(name) {
+		err := ex.store.ScanExtent(name, func(id oidpkg.OID, tv *value.Tuple) error {
+			s.Elems = append(s.Elems, value.Object{OID: id, Tuple: tv})
+			return nil
+		})
+		return s, err
+	}
+	err := ex.store.ScanElems(name, func(_ storage.RID, v value.Value) error {
+		if r, isRef := v.(value.Ref); isRef {
+			tv, ok, err := ex.store.Get(r.OID)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			s.Elems = append(s.Elems, value.Object{OID: r.OID, Tuple: tv})
+			return nil
+		}
+		s.Elems = append(s.Elems, v)
+		return nil
+	})
+	return s, err
+}
+
+// evalPath walks the bound path steps with implicit dereferencing and
+// multi-valued traversal.
+func (ex *Executor) evalPath(ctx *evalCtx, p *sema.PathExpr) (value.Value, error) {
+	cur, err := ex.eval(ctx, p.Base)
+	if err != nil {
+		return nil, err
+	}
+	multi := p.Base.Multi()
+	for _, st := range p.Steps {
+		cur, multi, err = ex.applyStep(ctx, cur, multi, st)
+		if err != nil {
+			return nil, err
+		}
+		if value.IsNull(cur) {
+			return value.Null{}, nil
+		}
+	}
+	return cur, nil
+}
+
+// applyStep applies one step, mapping over collections (multi-valued
+// path semantics: stepping through a set maps and flattens one level).
+func (ex *Executor) applyStep(ctx *evalCtx, cur value.Value, multi bool, st sema.Step) (value.Value, bool, error) {
+	if value.IsNull(cur) {
+		return value.Null{}, multi, nil
+	}
+	// An attribute step applied to a collection maps over its elements.
+	if st.Attr != "" {
+		if elems, isColl := elemsOf(cur); isColl {
+			out := &value.Set{}
+			for _, e := range elems {
+				r, _, err := ex.applyStep(ctx, e, false, st)
+				if err != nil {
+					return nil, false, err
+				}
+				if value.IsNull(r) {
+					continue
+				}
+				if inner, isSet := elemsOf(r); isSet {
+					out.Elems = append(out.Elems, inner...)
+				} else {
+					out.Elems = append(out.Elems, r)
+				}
+			}
+			return out, true, nil
+		}
+	}
+	nv, _, err := ex.stepOnce(cur, collOwner{}, st, ctx)
+	return nv, multi, err
+}
+
+func (ex *Executor) evalUnary(ctx *evalCtx, u *sema.Unary) (value.Value, error) {
+	v, err := ex.eval(ctx, u.X)
+	if err != nil {
+		return nil, err
+	}
+	if u.Fn != nil {
+		return u.Fn.Impl([]value.Value{deobject(v)})
+	}
+	switch u.Op {
+	case "not":
+		b, ok := value.AsBool(v)
+		if !ok {
+			return value.Null{}, nil
+		}
+		return value.Bool(!b), nil
+	case "-":
+		switch n := v.(type) {
+		case value.Int:
+			return value.Int{K: n.K, V: -n.V}, nil
+		case value.Float:
+			return value.Float{K: n.K, V: -n.V}, nil
+		}
+		return value.Null{}, nil
+	}
+	return nil, fmt.Errorf("unhandled unary %s", u.Op)
+}
+
+// deobject converts runtime Objects to plain tuples for value contexts
+// (ADT calls never see objects, but defensive conversion is cheap).
+func deobject(v value.Value) value.Value {
+	if o, ok := v.(value.Object); ok {
+		return o.Tuple
+	}
+	return v
+}
+
+func (ex *Executor) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
+	// Short-circuit logic first.
+	if b.Class == sema.OpLogic {
+		l, err := ex.eval(ctx, b.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := value.AsBool(l)
+		if b.Op == "and" {
+			if lok && !lb {
+				return value.Bool(false), nil
+			}
+		} else if lok && lb {
+			return value.Bool(true), nil
+		}
+		r, err := ex.eval(ctx, b.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, rok := value.AsBool(r)
+		if !lok || !rok {
+			// Unknown combines as in three-valued logic where possible.
+			if b.Op == "and" {
+				if (lok && !lb) || (rok && !rb) {
+					return value.Bool(false), nil
+				}
+			} else if (lok && lb) || (rok && rb) {
+				return value.Bool(true), nil
+			}
+			return value.Null{}, nil
+		}
+		if b.Op == "and" {
+			return value.Bool(lb && rb), nil
+		}
+		return value.Bool(lb || rb), nil
+	}
+	l, err := ex.eval(ctx, b.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(ctx, b.R)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Class {
+	case sema.OpIdent:
+		lo, lok := ex.liveOID(l)
+		ro, rok := ex.liveOID(r)
+		lnull := !lok
+		rnull := !rok
+		same := false
+		switch {
+		case lnull && rnull:
+			same = true
+		case lnull != rnull:
+			same = false
+		default:
+			same = lok && rok && lo == ro
+		}
+		if b.Op == "isnot" {
+			return value.Bool(!same), nil
+		}
+		return value.Bool(same), nil
+	case sema.OpCompare:
+		if value.IsNull(l) || value.IsNull(r) {
+			return value.Null{}, nil
+		}
+		switch b.Op {
+		case "=":
+			return value.Bool(value.Equal(deobject(l), deobject(r))), nil
+		case "!=":
+			return value.Bool(!value.Equal(deobject(l), deobject(r))), nil
+		}
+		c, err := value.Compare(deobject(l), deobject(r))
+		if err != nil {
+			return nil, err
+		}
+		switch b.Op {
+		case "<":
+			return value.Bool(c < 0), nil
+		case "<=":
+			return value.Bool(c <= 0), nil
+		case ">":
+			return value.Bool(c > 0), nil
+		case ">=":
+			return value.Bool(c >= 0), nil
+		}
+	case sema.OpMember:
+		var elem value.Value
+		var coll value.Value
+		if b.Op == "in" {
+			elem, coll = l, r
+		} else {
+			elem, coll = r, l
+		}
+		if value.IsNull(elem) || value.IsNull(coll) {
+			return value.Null{}, nil
+		}
+		elems, ok := elemsOf(coll)
+		if !ok {
+			return nil, fmt.Errorf("%s requires a collection", b.Op)
+		}
+		for _, e := range elems {
+			if value.Equal(e, elem) {
+				return value.Bool(true), nil
+			}
+			// Membership of an object in a collection of refs (and vice
+			// versa) compares identities.
+			if eo, ok1 := value.OIDOf(e); ok1 {
+				if vo, ok2 := value.OIDOf(elem); ok2 && eo == vo {
+					return value.Bool(true), nil
+				}
+			}
+		}
+		return value.Bool(false), nil
+	case sema.OpSet:
+		ls, lok := elemsOf(l)
+		rs, rok := elemsOf(r)
+		if !lok || !rok {
+			if value.IsNull(l) || value.IsNull(r) {
+				return value.Null{}, nil
+			}
+			return nil, fmt.Errorf("%s requires sets", b.Op)
+		}
+		out := &value.Set{}
+		switch b.Op {
+		case "union":
+			out.Elems = append(out.Elems, ls...)
+			for _, e := range rs {
+				if !containsValue(out.Elems, e) {
+					out.Elems = append(out.Elems, e)
+				}
+			}
+		case "intersect":
+			for _, e := range ls {
+				if containsValue(rs, e) && !containsValue(out.Elems, e) {
+					out.Elems = append(out.Elems, e)
+				}
+			}
+		case "diff":
+			for _, e := range ls {
+				if !containsValue(rs, e) && !containsValue(out.Elems, e) {
+					out.Elems = append(out.Elems, e)
+				}
+			}
+		}
+		return out, nil
+	case sema.OpArith:
+		if value.IsNull(l) || value.IsNull(r) {
+			return value.Null{}, nil
+		}
+		return arith(b.Op, l, r)
+	case sema.OpADT:
+		if value.IsNull(l) || value.IsNull(r) {
+			return value.Null{}, nil
+		}
+		return b.Fn.Impl([]value.Value{deobject(l), deobject(r)})
+	}
+	return nil, fmt.Errorf("unhandled binary %s", b.Op)
+}
+
+type oidOf = oidpkg.OID
+
+// liveOID extracts the identity of a value for is/isnot: a dangling
+// reference (its object has been deleted) reads as null, the GEM-style
+// referential behaviour.
+func (ex *Executor) liveOID(v value.Value) (oidOf, bool) {
+	id, ok := value.OIDOf(v)
+	if !ok {
+		return 0, false
+	}
+	if _, isRef := v.(value.Ref); isRef && !ex.store.Exists(id) {
+		return 0, false
+	}
+	return id, true
+}
+
+func containsValue(elems []value.Value, v value.Value) bool {
+	for _, e := range elems {
+		if value.Equal(e, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// arith evaluates built-in arithmetic with numeric promotion and string
+// concatenation for "+".
+func arith(op string, l, r value.Value) (value.Value, error) {
+	if ls, ok := l.(value.Str); ok {
+		if rs, ok2 := r.(value.Str); ok2 && op == "+" {
+			return value.NewStr(ls.V + rs.V), nil
+		}
+	}
+	li, lInt := l.(value.Int)
+	ri, rInt := r.(value.Int)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return value.NewInt(li.V + ri.V), nil
+		case "-":
+			return value.NewInt(li.V - ri.V), nil
+		case "*":
+			return value.NewInt(li.V * ri.V), nil
+		case "/":
+			if ri.V == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return value.NewInt(li.V / ri.V), nil
+		case "%":
+			if ri.V == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return value.NewInt(li.V % ri.V), nil
+		}
+	}
+	lf, lok := value.AsFloat(l)
+	rf, rok := value.AsFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("operator %s undefined for %s and %s", op, l, r)
+	}
+	switch op {
+	case "+":
+		return value.NewFloat(lf + rf), nil
+	case "-":
+		return value.NewFloat(lf - rf), nil
+	case "*":
+		return value.NewFloat(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return value.NewFloat(lf / rf), nil
+	case "%":
+		return nil, fmt.Errorf("%% requires integers")
+	}
+	return nil, fmt.Errorf("unhandled arithmetic %s", op)
+}
+
+func (ex *Executor) evalADTCall(ctx *evalCtx, c *sema.ADTCall) (value.Value, error) {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := ex.eval(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		if value.IsNull(v) {
+			return value.Null{}, nil
+		}
+		args[i] = deobject(v)
+	}
+	return c.Fn.Impl(args)
+}
+
+func (ex *Executor) evalTupleCtor(ctx *evalCtx, t *sema.TupleCtor) (value.Value, error) {
+	tv := value.NewTuple(t.TT)
+	for _, f := range t.Fields {
+		v, err := ex.eval(ctx, f.Expr)
+		if err != nil {
+			return nil, err
+		}
+		a, _ := t.TT.Attr(f.Name)
+		cv, err := ex.coerce(v, a.Comp)
+		if err != nil {
+			return nil, err
+		}
+		tv.Set(f.Name, cv)
+	}
+	return tv, nil
+}
+
+// coerce shapes a computed value for storage in a component slot, with
+// access to the store: when an object's value is copied into an own
+// slot, its own-ref components are materialized as fresh embedded copies
+// (composite value semantics — copying the parent copies the components;
+// sharing them would violate exclusivity).
+func (ex *Executor) coerce(v value.Value, comp types.Component) (value.Value, error) {
+	out := coerceTo(v, comp)
+	if _, wasObj := v.(value.Object); wasObj && comp.Mode == types.Own {
+		return ex.ownCopy(comp, out)
+	}
+	return out, nil
+}
+
+// ownCopy recursively replaces own-ref references inside an owned value
+// with embedded copies of their targets, so that storing the value
+// creates fresh component objects instead of claiming the originals.
+func (ex *Executor) ownCopy(comp types.Component, v value.Value) (value.Value, error) {
+	if value.IsNull(v) {
+		return value.Null{}, nil
+	}
+	switch comp.Mode {
+	case types.OwnRef:
+		if r, ok := v.(value.Ref); ok {
+			tv, live, err := ex.store.Get(r.OID)
+			if err != nil {
+				return nil, err
+			}
+			if !live {
+				return value.Null{}, nil
+			}
+			return ex.ownCopy(types.Component{Mode: types.Own, Type: tv.Type}, value.Copy(tv))
+		}
+		return v, nil
+	case types.RefTo:
+		return v, nil
+	}
+	switch x := v.(type) {
+	case *value.Tuple:
+		for i, a := range x.Type.Attrs() {
+			nv, err := ex.ownCopy(a.Comp, x.Fields[i])
+			if err != nil {
+				return nil, err
+			}
+			x.Fields[i] = nv
+		}
+	case *value.Set:
+		if elem, ok := types.ElemOf(comp.Type); ok {
+			for i, e := range x.Elems {
+				nv, err := ex.ownCopy(elem, e)
+				if err != nil {
+					return nil, err
+				}
+				x.Elems[i] = nv
+			}
+		}
+	case *value.Array:
+		if elem, ok := types.ElemOf(comp.Type); ok {
+			for i, e := range x.Elems {
+				nv, err := ex.ownCopy(elem, e)
+				if err != nil {
+					return nil, err
+				}
+				x.Elems[i] = nv
+			}
+		}
+	}
+	return v, nil
+}
+
+// coerceTo shapes a computed value for storage in a component slot:
+// objects become references for ref slots and copies for own slots.
+func coerceTo(v value.Value, comp types.Component) value.Value {
+	if value.IsNull(v) {
+		return value.Null{}
+	}
+	if at, isArr := comp.Type.(*types.Array); isArr {
+		if sv, isSet := v.(*value.Set); isSet {
+			return &value.Array{Elems: sv.Elems, Fixed: at.Fixed}
+		}
+	}
+	if o, isObj := v.(value.Object); isObj {
+		switch comp.Mode {
+		case types.RefTo, types.OwnRef:
+			return o.Ref()
+		default:
+			if _, isRef := comp.Type.(*types.Ref); isRef {
+				return o.Ref()
+			}
+			return value.Copy(o.Tuple)
+		}
+	}
+	return v
+}

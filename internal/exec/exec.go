@@ -1,0 +1,446 @@
+// Package exec evaluates optimized EXCESS plans against the object
+// store: a nested-iteration pipeline over the plan's variable-binding
+// nodes (heap scans, B+-tree probes, nested-set unnests with implicit
+// dereferencing), expression evaluation with null propagation, EXCESS
+// function invocation with early/late binding, grouped aggregation with
+// by/over partitioning, universal quantification, and the QUEL update
+// statements with own / ref / own ref semantics.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/excess/sema"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Executor runs checked statements. One Executor serves a database; it
+// is not safe for concurrent statements (the database layer serializes).
+type Executor struct {
+	store   *object.Store
+	cat     *catalog.Catalog
+	session *sema.Session
+	opts    algebra.Options
+
+	params []map[string]value.Value // function/procedure parameter frames
+	depth  int
+
+	// fnCache memoizes bound function bodies: bodies are stored as AST
+	// (stored-command style) and bind against the catalog on first call
+	// rather than on every call. The catalog's schema objects are
+	// immutable once defined, so a bound body stays valid; a dropped
+	// extent surfaces as the same error either way.
+	fnCache map[*catalog.Function]*boundBody
+}
+
+// boundBody is a memoized function body.
+type boundBody struct {
+	expr  sema.Expr
+	query *sema.CheckedRetrieve
+}
+
+// New returns an executor over the store and catalog.
+func New(store *object.Store, cat *catalog.Catalog, session *sema.Session) *Executor {
+	return &Executor{
+		store:   store,
+		cat:     cat,
+		session: session,
+		fnCache: make(map[*catalog.Function]*boundBody),
+	}
+}
+
+// SetOptions configures the optimizer (used by the benchmarks to compare
+// optimized and naive plans).
+func (ex *Executor) SetOptions(o algebra.Options) { ex.opts = o }
+
+// Options returns the current optimizer options.
+func (ex *Executor) Options() algebra.Options { return ex.opts }
+
+// EstimateLen implements algebra.Stats.
+func (ex *Executor) EstimateLen(extent string) int {
+	if n, err := ex.store.ExtentLen(extent); err == nil {
+		return n
+	}
+	if n, err := ex.store.ElemLen(extent); err == nil {
+		return n
+	}
+	return 1000
+}
+
+// prov records where a binding's value lives, for update statements.
+type prov struct {
+	oid       oid.OID     // identity, when the binding is an object
+	extent    string      // extent name for extent-variable bindings
+	rid       storage.RID // element record for ref/value-set extents
+	parentOID oid.OID     // nested: owning object of the collection
+	parentVar string      // nested: owning database variable
+	steps     []sema.Step // nested: path from owner to the collection
+	elemIdx   int         // nested: position within the collection
+}
+
+// binding maps range variables to their current values and provenance.
+type binding struct {
+	vals map[*sema.Var]value.Value
+	prov map[*sema.Var]prov
+}
+
+func newBinding() *binding {
+	return &binding{
+		vals: make(map[*sema.Var]value.Value),
+		prov: make(map[*sema.Var]prov),
+	}
+}
+
+func (b *binding) clone() *binding {
+	n := newBinding()
+	for k, v := range b.vals {
+		n.vals[k] = v
+	}
+	for k, v := range b.prov {
+		n.prov[k] = v
+	}
+	return n
+}
+
+// evalCtx carries the evaluation environment: the current binding and,
+// inside grouped-aggregate output, the computed aggregate values.
+type evalCtx struct {
+	b       *binding
+	aggVals map[*sema.Agg]value.Value
+}
+
+// Run enumerates the bindings of a plan, applying node filters, the
+// residual filter and universal quantification, and yields each
+// surviving binding.
+func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
+	b := newBinding()
+	return ex.runNode(p, 0, b, func(bb *binding) error {
+		ok, err := ex.passAll(bb, p.Final)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ok, err = ex.forAllHolds(bb, p.Universal, p.ForAll)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return yield(bb)
+	})
+}
+
+func (ex *Executor) passAll(b *binding, conjs []sema.Expr) (bool, error) {
+	ctx := &evalCtx{b: b}
+	for _, cj := range conjs {
+		v, err := ex.eval(ctx, cj)
+		if err != nil {
+			return false, err
+		}
+		if t, ok := value.AsBool(v); !ok || !t {
+			return false, nil // null predicates reject, QUEL-style
+		}
+	}
+	return true, nil
+}
+
+// runNode binds plan node i for every element of its source, recursing
+// to the next node.
+func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, yield func(*binding) error) error {
+	if i >= len(p.Nodes) {
+		return yield(b)
+	}
+	n := &p.Nodes[i]
+	emit := func(v value.Value, pr prov) error {
+		b.vals[n.Var] = v
+		b.prov[n.Var] = pr
+		ok, err := ex.passAll(b, n.Filter)
+		if err == nil && ok {
+			err = ex.runNode(p, i+1, b, yield)
+		}
+		delete(b.vals, n.Var)
+		delete(b.prov, n.Var)
+		return err
+	}
+	return ex.enumerate(b, n, emit)
+}
+
+// enumerate produces the bindings of one variable.
+func (ex *Executor) enumerate(b *binding, n *algebra.Node, emit func(value.Value, prov) error) error {
+	v := n.Var
+	switch v.Kind {
+	case sema.VarExtent:
+		if ex.store.IsObjectExtent(v.Extent) {
+			if n.Access != nil {
+				ids := object.IndexLookup(n.Access.Index, n.Access.Lo, n.Access.Hi, n.Access.IncLo, n.Access.IncHi)
+				for _, id := range ids {
+					tv, ok, err := ex.store.Get(id)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					if err := emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return ex.store.ScanExtent(v.Extent, func(id oid.OID, tv *value.Tuple) error {
+				return emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent})
+			})
+		}
+		if ex.store.IsElemExtent(v.Extent) {
+			return ex.store.ScanElems(v.Extent, func(rid storage.RID, ev value.Value) error {
+				pr := prov{extent: v.Extent, rid: rid}
+				if r, isRef := ev.(value.Ref); isRef {
+					tv, ok, err := ex.store.Get(r.OID)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil // dangling membership reads as absent
+					}
+					pr.oid = r.OID
+					return emit(value.Object{OID: r.OID, Tuple: tv}, pr)
+				}
+				return emit(ev, pr)
+			})
+		}
+		return fmt.Errorf("no extent %s", v.Extent)
+	case sema.VarNested, sema.VarDBPath, sema.VarExprPath:
+		start, owner, err := ex.nestStart(b, v)
+		if err != nil {
+			return err
+		}
+		return ex.walkCollection(start, owner, v.Steps, emit)
+	}
+	return fmt.Errorf("unhandled variable kind for %s", v.Name)
+}
+
+// collOwner tracks the owner of the collection a nested variable ranges
+// over: the nearest enclosing object (or database variable) along the
+// path, plus the steps from that owner to the collection.
+type collOwner struct {
+	oid   oid.OID
+	dbvar string
+	steps []sema.Step
+}
+
+// nestStart resolves the starting value and initial owner for a nested
+// variable.
+func (ex *Executor) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, error) {
+	switch v.Kind {
+	case sema.VarNested:
+		pv, ok := b.vals[v.Parent]
+		if !ok {
+			return nil, collOwner{}, fmt.Errorf("parent of %s not bound", v.Name)
+		}
+		own := collOwner{}
+		if o, isObj := pv.(value.Object); isObj {
+			own.oid = o.OID
+		} else {
+			pp := b.prov[v.Parent]
+			own.oid, own.dbvar = pp.parentOID, pp.parentVar
+		}
+		return pv, own, nil
+	case sema.VarExprPath:
+		val, err := ex.eval(&evalCtx{b: b}, v.Base)
+		if err != nil {
+			return nil, collOwner{}, err
+		}
+		own := collOwner{}
+		if id, ok := value.OIDOf(val); ok {
+			own.oid = id
+		}
+		return val, own, nil
+	default: // VarDBPath
+		val, err := ex.store.GetVar(v.Extent)
+		if err != nil {
+			return nil, collOwner{}, err
+		}
+		return val, collOwner{dbvar: v.Extent}, nil
+	}
+}
+
+// walkCollection walks the steps from start to the target collection,
+// dereferencing references (updating the owner as it crosses object
+// boundaries), then emits each element.
+func (ex *Executor) walkCollection(cur value.Value, owner collOwner, steps []sema.Step, emit func(value.Value, prov) error) error {
+	for si, st := range steps {
+		var err error
+		cur, owner, err = ex.stepOnce(cur, owner, st, nil)
+		if err != nil {
+			return err
+		}
+		if value.IsNull(cur) {
+			return nil
+		}
+		// A collection in the middle of the path fans out.
+		if si < len(steps)-1 {
+			if coll, ok := elemsOf(cur); ok {
+				for _, e := range coll {
+					eo := owner
+					ev := e
+					if r, isRef := e.(value.Ref); isRef {
+						tv, live, err := ex.store.Get(r.OID)
+						if err != nil {
+							return err
+						}
+						if !live {
+							continue
+						}
+						ev = value.Object{OID: r.OID, Tuple: tv}
+						eo = collOwner{oid: r.OID}
+					}
+					if err := ex.walkCollection(ev, eo, steps[si+1:], emit); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+	}
+	coll, ok := elemsOf(cur)
+	if !ok {
+		return fmt.Errorf("path does not end in a collection (got %T)", cur)
+	}
+	for idx, e := range coll {
+		pr := prov{parentOID: owner.oid, parentVar: owner.dbvar, steps: owner.steps, elemIdx: idx}
+		ev := e
+		if r, isRef := e.(value.Ref); isRef {
+			tv, live, err := ex.store.Get(r.OID)
+			if err != nil {
+				return err
+			}
+			if !live {
+				continue
+			}
+			pr.oid = r.OID
+			ev = value.Object{OID: r.OID, Tuple: tv}
+		}
+		if err := emit(ev, pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepOnce applies one path step to a value, dereferencing a reference
+// first if needed and tracking the collection owner. ctx is needed only
+// when the step has an index expression.
+func (ex *Executor) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *evalCtx) (value.Value, collOwner, error) {
+	if value.IsNull(cur) {
+		return value.Null{}, owner, nil
+	}
+	if r, isRef := cur.(value.Ref); isRef {
+		tv, live, err := ex.store.Get(r.OID)
+		if err != nil {
+			return nil, owner, err
+		}
+		if !live {
+			return value.Null{}, owner, nil
+		}
+		cur = value.Object{OID: r.OID, Tuple: tv}
+		owner = collOwner{oid: r.OID}
+	}
+	if st.Attr != "" {
+		tv, ok := value.AsTuple(cur)
+		if !ok {
+			return nil, owner, fmt.Errorf("attribute %s of non-tuple value %s", st.Attr, cur)
+		}
+		owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Attr: st.Attr})
+		cur = tv.Get(st.Attr)
+	}
+	if st.Index != nil {
+		iv, err := ex.eval(orCtx(ctx), st.Index)
+		if err != nil {
+			return nil, owner, err
+		}
+		i, ok := value.AsInt(iv)
+		if !ok {
+			return nil, owner, fmt.Errorf("array index must be an integer")
+		}
+		arr, isArr := cur.(*value.Array)
+		if !isArr {
+			return nil, owner, fmt.Errorf("indexing a non-array value")
+		}
+		if i < 1 || int(i) > len(arr.Elems) {
+			return value.Null{}, owner, nil
+		}
+		owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Index: &sema.Const{Val: value.NewInt(i), T: nil}})
+		cur = arr.Elems[i-1]
+	}
+	return cur, owner, nil
+}
+
+func orCtx(ctx *evalCtx) *evalCtx {
+	if ctx != nil {
+		return ctx
+	}
+	return &evalCtx{b: newBinding()}
+}
+
+// elemsOf extracts the elements of a collection value.
+func elemsOf(v value.Value) ([]value.Value, bool) {
+	switch x := v.(type) {
+	case *value.Set:
+		return x.Elems, true
+	case *value.Array:
+		return x.Elems, true
+	}
+	return nil, false
+}
+
+// forAllHolds checks the universally quantified part of the predicate:
+// for every combination of bindings of the universal variables, all
+// conjuncts must hold.
+func (ex *Executor) forAllHolds(b *binding, uvars []*sema.Var, conjs []sema.Expr) (bool, error) {
+	if len(uvars) == 0 || len(conjs) == 0 {
+		return true, nil
+	}
+	holds := true
+	var rec func(i int) error
+	rec = func(i int) error {
+		if !holds {
+			return nil
+		}
+		if i >= len(uvars) {
+			ok, err := ex.passAll(b, conjs)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				holds = false
+			}
+			return nil
+		}
+		n := &algebra.Node{Var: uvars[i]}
+		return ex.enumerate(b, n, func(v value.Value, pr prov) error {
+			b.vals[uvars[i]] = v
+			b.prov[uvars[i]] = pr
+			err := rec(i + 1)
+			delete(b.vals, uvars[i])
+			delete(b.prov, uvars[i])
+			return err
+		})
+	}
+	if err := rec(0); err != nil {
+		return false, err
+	}
+	return holds, nil
+}
+
+// Plan builds an optimized plan for a checked query.
+func (ex *Executor) Plan(q sema.Query) *algebra.Plan {
+	return algebra.Build(ex.cat, ex, q, ex.opts)
+}

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/excess/sema"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func TestArith(t *testing.T) {
+	i := func(v int64) value.Value { return value.NewInt(v) }
+	f := func(v float64) value.Value { return value.NewFloat(v) }
+	s := func(v string) value.Value { return value.NewStr(v) }
+	cases := []struct {
+		op   string
+		l, r value.Value
+		want string
+	}{
+		{"+", i(2), i(3), "5"},
+		{"-", i(2), i(3), "-1"},
+		{"*", i(4), i(3), "12"},
+		{"/", i(7), i(2), "3"}, // integer division stays integral
+		{"%", i(7), i(2), "1"},
+		{"+", i(2), f(0.5), "2.5"},
+		{"/", f(7), i(2), "3.5"},
+		{"+", s("ab"), s("cd"), `"abcd"`},
+	}
+	for _, c := range cases {
+		got, err := arith(c.op, c.l, c.r)
+		if err != nil {
+			t.Errorf("%s %s %s: %v", c.l, c.op, c.r, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("%s %s %s = %s, want %s", c.l, c.op, c.r, got, c.want)
+		}
+	}
+	for _, c := range []struct {
+		op   string
+		l, r value.Value
+	}{
+		{"/", i(1), i(0)},
+		{"%", i(1), i(0)},
+		{"/", f(1), f(0)},
+		{"%", f(1.5), f(2)},
+		{"-", s("a"), s("b")},
+	} {
+		if _, err := arith(c.op, c.l, c.r); err == nil {
+			t.Errorf("%s %s %s: expected error", c.l, c.op, c.r)
+		}
+	}
+}
+
+func TestFoldAgg(t *testing.T) {
+	mk := func(op string) *sema.Agg { return &sema.Agg{Op: op, SetArg: true} }
+	ints := []value.Value{value.NewInt(3), value.Null{}, value.NewInt(1), value.NewInt(2)}
+	cases := []struct {
+		op, want string
+	}{
+		{"count", "3"}, // nulls ignored
+		{"sum", "6"},
+		{"avg", "2"},
+		{"min", "1"},
+		{"max", "3"},
+	}
+	for _, c := range cases {
+		got, err := foldAgg(mk(c.op), ints)
+		if err != nil || got.String() != c.want {
+			t.Errorf("%s = %s (%v), want %s", c.op, got, err, c.want)
+		}
+	}
+	// Mixed int/float sums promote.
+	mixed := []value.Value{value.NewInt(1), value.NewFloat(0.5)}
+	if got, _ := foldAgg(mk("sum"), mixed); got.String() != "1.5" {
+		t.Errorf("mixed sum = %s", got)
+	}
+	// Empty inputs.
+	if got, _ := foldAgg(mk("count"), nil); got.String() != "0" {
+		t.Error("empty count")
+	}
+	if got, _ := foldAgg(mk("sum"), nil); got.String() != "0" {
+		t.Error("empty sum")
+	}
+	if got, _ := foldAgg(mk("avg"), nil); !value.IsNull(got) {
+		t.Error("empty avg should be null")
+	}
+	if got, _ := foldAgg(mk("min"), nil); !value.IsNull(got) {
+		t.Error("empty min should be null")
+	}
+	// Non-numeric sum errors.
+	if _, err := foldAgg(mk("sum"), []value.Value{value.NewStr("x")}); err == nil {
+		t.Error("sum over strings accepted")
+	}
+	// min/max over strings works.
+	strsv := []value.Value{value.NewStr("b"), value.NewStr("a")}
+	if got, _ := foldAgg(mk("min"), strsv); got.String() != `"a"` {
+		t.Error("string min")
+	}
+}
+
+func TestValueKeyAndHelpers(t *testing.T) {
+	if valueKey(value.Null{}) != "\x00null" {
+		t.Error("null key")
+	}
+	if !strings.HasPrefix(valueKey(value.Ref{OID: 5}), "#") {
+		t.Error("ref key should use identity")
+	}
+	if valueKey(value.NewInt(7)) != "7" {
+		t.Error("scalar key")
+	}
+	// elemsOf
+	if _, ok := elemsOf(&value.Set{}); !ok {
+		t.Error("set elems")
+	}
+	if _, ok := elemsOf(&value.Array{}); !ok {
+		t.Error("array elems")
+	}
+	if _, ok := elemsOf(value.NewInt(1)); ok {
+		t.Error("scalar elems")
+	}
+	// deobject
+	tt := types.MustTupleType("U1", nil, nil)
+	tv := value.NewTuple(tt)
+	if deobject(value.Object{OID: 1, Tuple: tv}) != value.Value(tv) {
+		t.Error("deobject")
+	}
+	if deobject(value.NewInt(1)).String() != "1" {
+		t.Error("deobject scalar")
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	tt := types.MustTupleType("U2", nil, []types.Attr{
+		{Name: "a", Comp: types.Component{Mode: types.Own, Type: types.Int4}},
+	})
+	obj := value.Object{OID: 9, Tuple: value.NewTuple(tt)}
+	// Object -> ref slot: reference.
+	out := coerceTo(obj, types.Component{Mode: types.RefTo, Type: tt})
+	if r, ok := out.(value.Ref); !ok || r.OID != 9 {
+		t.Errorf("ref slot: %s", out)
+	}
+	// Object -> own slot: copied tuple.
+	out = coerceTo(obj, types.Component{Mode: types.Own, Type: tt})
+	if cp, ok := out.(*value.Tuple); !ok || cp == obj.Tuple {
+		t.Errorf("own slot: %T", out)
+	}
+	// Set -> array slot.
+	set := &value.Set{Elems: []value.Value{value.NewInt(1)}}
+	out = coerceTo(set, types.Component{Mode: types.Own, Type: &types.Array{
+		Elem: types.Component{Mode: types.Own, Type: types.Int4}, Len: 1, Fixed: true}})
+	if arr, ok := out.(*value.Array); !ok || !arr.Fixed || len(arr.Elems) != 1 {
+		t.Errorf("array slot: %s", out)
+	}
+	// Null passes through.
+	if !value.IsNull(coerceTo(value.Null{}, types.Component{Mode: types.Own, Type: types.Int4})) {
+		t.Error("null slot")
+	}
+}
+
+func TestStepsKey(t *testing.T) {
+	steps := []sema.Step{
+		{Attr: "kids"},
+		{Index: &sema.Const{Val: value.NewInt(2)}},
+		{Attr: "name"},
+	}
+	if got := stepsKey(steps); got != ".kids[2].name" {
+		t.Errorf("stepsKey = %q", got)
+	}
+}

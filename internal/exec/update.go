@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/excess/sema"
+	"repro/internal/oid"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Append executes a checked append, returning the number of elements
+// appended (one per binding of the from/where clause; one when the
+// statement has no bindings).
+func (ex *Executor) Append(ca *sema.CheckedAppend) (int, error) {
+	type job struct {
+		elem  value.Value
+		owner prov // target location for nested appends
+	}
+	var jobs []job
+	collect := func(b *binding) error {
+		ctx := &evalCtx{b: b}
+		var elem value.Value
+		var err error
+		if ca.Ctor != nil {
+			if elem, err = ex.eval(ctx, ca.Ctor); err != nil {
+				return err
+			}
+		} else {
+			if elem, err = ex.eval(ctx, ca.Value); err != nil {
+				return err
+			}
+		}
+		celem, err := ex.coerce(elem, ca.Elem)
+		if err != nil {
+			return err
+		}
+		j := job{elem: celem}
+		if ca.Extent == "" {
+			// Locate the owning object / database variable now; the
+			// mutation happens after enumeration so iteration never sees
+			// its own updates (QUEL statement semantics).
+			var ownerOID oid.OID
+			ownerVar := ca.OwnerVar
+			var steps []sema.Step
+			if ca.Owner != nil {
+				ov, err := ex.eval(ctx, ca.Owner)
+				if err != nil {
+					return err
+				}
+				start, owner0, err2 := ex.resolveOwner(ov, b, ca.Owner)
+				if err2 != nil {
+					return err2
+				}
+				_ = start
+				ownerOID, ownerVar = owner0.oid, owner0.dbvar
+				steps = owner0.steps
+			}
+			// Walk remaining structural steps (attribute names) to record
+			// the collection location relative to the owner.
+			steps = append(steps, ca.Steps...)
+			j.owner = prov{parentOID: ownerOID, parentVar: ownerVar, steps: steps}
+		}
+		jobs = append(jobs, j)
+		return nil
+	}
+	plan := ex.Plan(ca.Query)
+	if err := ex.Run(plan, collect); err != nil {
+		return 0, err
+	}
+	for _, j := range jobs {
+		if ca.Extent != "" {
+			if err := ex.appendToExtent(ca, j.elem); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := ex.mutateCollection(j.owner, func(coll *[]value.Value) error {
+			*coll = append(*coll, j.elem)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return len(jobs), nil
+}
+
+// resolveOwner maps an owner expression value to its location.
+func (ex *Executor) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Value, collOwner, error) {
+	if o, isObj := v.(value.Object); isObj {
+		return v, collOwner{oid: o.OID}, nil
+	}
+	if vr, isVar := e.(*sema.VarRef); isVar {
+		// An own element without identity: address it positionally within
+		// its container so the nested mutation lands inside the element.
+		pr := b.prov[vr.Var]
+		steps := append(append([]sema.Step(nil), pr.steps...),
+			sema.Step{Index: &sema.Const{Val: value.NewInt(int64(pr.elemIdx + 1))}})
+		return v, collOwner{oid: pr.parentOID, dbvar: pr.parentVar, steps: steps}, nil
+	}
+	if dv, isDB := e.(*sema.DBVarRead); isDB {
+		return v, collOwner{dbvar: dv.Name}, nil
+	}
+	return nil, collOwner{}, fmt.Errorf("cannot locate the collection owner for append")
+}
+
+// appendToExtent inserts a new element into a top-level collection.
+func (ex *Executor) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error {
+	if ex.store.IsObjectExtent(ca.Extent) {
+		switch ev := elem.(type) {
+		case *value.Tuple:
+			_, err := ex.store.Insert(ca.Extent, ev)
+			return err
+		case value.Ref:
+			// Appending an existing object to an object extent copies its
+			// value (own semantics, including fresh copies of own-ref
+			// components) — the reference form stores a membership only in
+			// ref-set extents.
+			tv, ok, err := ex.store.Get(ev.OID)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("append of a dangling reference")
+			}
+			cp, err := ex.ownCopy(types.Component{Mode: types.Own, Type: tv.Type}, value.Copy(tv))
+			if err != nil {
+				return err
+			}
+			_, err = ex.store.Insert(ca.Extent, cp.(*value.Tuple))
+			return err
+		default:
+			return fmt.Errorf("cannot append %s to object extent %s", elem, ca.Extent)
+		}
+	}
+	return ex.store.InsertElem(ca.Extent, elem)
+}
+
+// mutateCollection loads the container identified by loc (an object or a
+// database variable), walks loc.steps to the collection, applies fn, and
+// stores the container back. When the walk crosses a reference (the
+// container path runs through a ref or own-ref component), the mutation
+// redirects to the referenced object.
+func (ex *Executor) mutateCollection(loc prov, fn func(coll *[]value.Value) error) error {
+	var redirect *prov
+	apply := func(root value.Value) (value.Value, error) {
+		cur := root
+		setCur := func(value.Value) {} // writes back the current position
+		for si, st := range loc.steps {
+			if r, isRef := cur.(value.Ref); isRef {
+				// The collection lives inside the referenced object.
+				redirect = &prov{parentOID: r.OID, steps: loc.steps[si:], elemIdx: loc.elemIdx}
+				return root, nil
+			}
+			if st.Attr != "" {
+				tv, ok := value.AsTuple(cur)
+				if !ok {
+					return nil, fmt.Errorf("path step %s into non-tuple", st.Attr)
+				}
+				attr := st.Attr
+				setCur = func(nv value.Value) { tv.Set(attr, nv) }
+				cur = tv.Get(attr)
+			}
+			if st.Index != nil {
+				iv, err := ex.eval(&evalCtx{b: newBinding()}, st.Index)
+				if err != nil {
+					return nil, err
+				}
+				i, _ := value.AsInt(iv)
+				elems, ok := elemsOf(cur)
+				if !ok || i < 1 || int(i) > len(elems) {
+					return nil, fmt.Errorf("bad index step in update path")
+				}
+				idx := int(i) - 1
+				setCur = func(nv value.Value) { elems[idx] = nv }
+				cur = elems[idx]
+			}
+			if value.IsNull(cur) {
+				// Initialize absent nested sets on first append.
+				cur = &value.Set{}
+				setCur(cur)
+			}
+		}
+		if r, isRef := cur.(value.Ref); isRef {
+			// Path ends on a reference whose target holds the collection —
+			// cannot happen for well-typed paths, but redirect defensively.
+			redirect = &prov{parentOID: r.OID, elemIdx: loc.elemIdx}
+			return root, nil
+		}
+		switch coll := cur.(type) {
+		case *value.Set:
+			if err := fn(&coll.Elems); err != nil {
+				return nil, err
+			}
+		case *value.Array:
+			if coll.Fixed {
+				return nil, fmt.Errorf("cannot change the size of a fixed array")
+			}
+			if err := fn(&coll.Elems); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("update path does not reach a collection")
+		}
+		return root, nil
+	}
+	switch {
+	case !loc.parentOID.IsNil():
+		tv, ok, err := ex.store.Get(loc.parentOID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("owner object %s no longer exists", loc.parentOID)
+		}
+		nv, err := apply(tv)
+		if err != nil {
+			return err
+		}
+		if redirect != nil {
+			return ex.mutateCollection(*redirect, fn)
+		}
+		return ex.store.Update(loc.parentOID, nv.(*value.Tuple))
+	case loc.parentVar != "":
+		v, err := ex.store.GetVar(loc.parentVar)
+		if err != nil {
+			return err
+		}
+		nv, err := apply(v)
+		if err != nil {
+			return err
+		}
+		if redirect != nil {
+			return ex.mutateCollection(*redirect, fn)
+		}
+		return ex.store.SetVar(loc.parentVar, nv)
+	default:
+		return fmt.Errorf("update path has no owner")
+	}
+}
+
+// Delete executes a checked delete: removes the variable's bindings from
+// their collection, destroying owned objects.
+func (ex *Executor) Delete(cd *sema.CheckedDelete) (int, error) {
+	var objs []oid.OID
+	var elems []prov
+	type nestedDel struct {
+		loc prov
+	}
+	var nested []nestedDel
+	plan := ex.Plan(cd.Query)
+	err := ex.Run(plan, func(b *binding) error {
+		pr := b.prov[cd.Var]
+		switch {
+		case pr.extent != "" && !pr.oid.IsNil() && ex.store.IsObjectExtent(pr.extent):
+			objs = append(objs, pr.oid)
+		case pr.extent != "":
+			elems = append(elems, pr)
+		default:
+			nested = append(nested, nestedDel{loc: pr})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range objs {
+		if !ex.store.Exists(id) {
+			continue // already destroyed via an owner earlier in the list
+		}
+		if err := ex.store.Delete(id); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for _, pr := range elems {
+		if err := ex.store.DeleteElem(pr.extent, pr.rid); err != nil {
+			return n, err
+		}
+		n++
+	}
+	// Nested deletions grouped by owner and path so each container is
+	// rewritten once, with element indexes applied high-to-low.
+	type groupKey struct {
+		oid oid.OID
+		v   string
+		p   string
+	}
+	grouped := map[groupKey][]prov{}
+	var gorder []groupKey
+	for _, nd := range nested {
+		k := groupKey{oid: nd.loc.parentOID, v: nd.loc.parentVar, p: stepsKey(nd.loc.steps)}
+		if _, ok := grouped[k]; !ok {
+			gorder = append(gorder, k)
+		}
+		grouped[k] = append(grouped[k], nd.loc)
+	}
+	for _, k := range gorder {
+		locs := grouped[k]
+		sort.Slice(locs, func(i, j int) bool { return locs[i].elemIdx > locs[j].elemIdx })
+		loc := locs[0]
+		err := ex.mutateCollection(loc, func(coll *[]value.Value) error {
+			for _, l := range locs {
+				if l.elemIdx < 0 || l.elemIdx >= len(*coll) {
+					return fmt.Errorf("stale element index in delete")
+				}
+				*coll = append((*coll)[:l.elemIdx], (*coll)[l.elemIdx+1:]...)
+				n++
+			}
+			return nil
+		})
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func stepsKey(steps []sema.Step) string {
+	s := ""
+	for _, st := range steps {
+		if st.Attr != "" {
+			s += "." + st.Attr
+		}
+		if st.Index != nil {
+			if c, ok := st.Index.(*sema.Const); ok {
+				s += "[" + c.Val.String() + "]"
+			} else {
+				s += "[?]"
+			}
+		}
+	}
+	return s
+}
+
+// Replace executes a checked replace: per matching binding, assigns the
+// attributes and stores the object (or rewrites the owning container for
+// own elements without identity).
+func (ex *Executor) Replace(cr *sema.CheckedReplace) (int, error) {
+	type job struct {
+		pr   prov
+		vals []value.Value
+	}
+	var jobs []job
+	plan := ex.Plan(cr.Query)
+	err := ex.Run(plan, func(b *binding) error {
+		ctx := &evalCtx{b: b}
+		j := job{pr: b.prov[cr.Var]}
+		for _, as := range cr.Assigns {
+			v, err := ex.eval(ctx, as.Expr)
+			if err != nil {
+				return err
+			}
+			cv, err := ex.coerce(v, as.Comp)
+			if err != nil {
+				return err
+			}
+			j.vals = append(j.vals, cv)
+		}
+		jobs = append(jobs, j)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, j := range jobs {
+		if !j.pr.oid.IsNil() {
+			tv, ok, err := ex.store.Get(j.pr.oid)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+			for i, as := range cr.Assigns {
+				tv.Set(as.Attr, j.vals[i])
+			}
+			if err := ex.store.Update(j.pr.oid, tv); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		// Own element without identity: rewrite it inside its container.
+		loc := j.pr
+		err := ex.mutateCollection(loc, func(coll *[]value.Value) error {
+			if loc.elemIdx < 0 || loc.elemIdx >= len(*coll) {
+				return fmt.Errorf("stale element index in replace")
+			}
+			tv, ok := value.AsTuple((*coll)[loc.elemIdx])
+			if !ok {
+				return fmt.Errorf("replace target is not a tuple")
+			}
+			for i, as := range cr.Assigns {
+				tv.Set(as.Attr, j.vals[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return len(jobs), nil
+}
+
+// Set executes a checked set statement: the from/where clause must bind
+// at most one row (zero bindings with variables is an error; a set with
+// no variables always has its one empty binding).
+func (ex *Executor) Set(cs *sema.CheckedSet) error {
+	var rows []*binding
+	plan := ex.Plan(cs.Query)
+	err := ex.Run(plan, func(b *binding) error {
+		rows = append(rows, b.clone())
+		if len(rows) > 1 {
+			return fmt.Errorf("set statement matched more than one binding")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		if len(cs.Query.Vars) > 0 {
+			return fmt.Errorf("set statement matched no binding")
+		}
+		rows = []*binding{newBinding()}
+	}
+	ctx := &evalCtx{b: rows[0]}
+	v, err := ex.eval(ctx, cs.RHS)
+	if err != nil {
+		return err
+	}
+	if v, err = ex.coerce(v, cs.Comp); err != nil {
+		return err
+	}
+	if cs.Index == nil {
+		return ex.store.SetVar(cs.VarName, v)
+	}
+	iv, err := ex.eval(ctx, cs.Index)
+	if err != nil {
+		return err
+	}
+	i, ok := value.AsInt(iv)
+	if !ok {
+		return fmt.Errorf("array index must be an integer")
+	}
+	cur, err := ex.store.GetVar(cs.VarName)
+	if err != nil {
+		return err
+	}
+	arr, isArr := cur.(*value.Array)
+	if !isArr {
+		return fmt.Errorf("%s is not an array", cs.VarName)
+	}
+	if i < 1 || int(i) > len(arr.Elems) {
+		if arr.Fixed {
+			return fmt.Errorf("index %d out of bounds for %s", i, cs.VarName)
+		}
+		for int64(len(arr.Elems)) < i {
+			arr.Elems = append(arr.Elems, value.Null{})
+		}
+	}
+	arr.Elems[i-1] = v
+	return ex.store.SetVar(cs.VarName, arr)
+}
+
+// Execute runs a checked procedure invocation: the body executes once
+// per binding of the from/where clause with the arguments bound as
+// parameters (the generalized IDM stored command).
+func (ex *Executor) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
+	type frame = map[string]value.Value
+	var frames []frame
+	plan := ex.Plan(ce.Query)
+	err := ex.Run(plan, func(b *binding) error {
+		ctx := &evalCtx{b: b}
+		f := make(frame, len(ce.Args))
+		for i, a := range ce.Args {
+			v, err := ex.eval(ctx, a)
+			if err != nil {
+				return err
+			}
+			p := ce.Proc.Params[i]
+			f[p.Name] = coerceParam(v, p.Type)
+		}
+		frames = append(frames, f)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range frames {
+		if err := runBody(f); err != nil {
+			return 0, err
+		}
+	}
+	return len(frames), nil
+}
+
+// coerceParam shapes an argument for a parameter slot: objects stay
+// objects when the parameter is a schema type (so paths work on them),
+// and become refs for ref parameters.
+func coerceParam(v value.Value, t types.Type) value.Value {
+	if _, isRef := t.(*types.Ref); isRef {
+		if o, ok := v.(value.Object); ok {
+			return o.Ref()
+		}
+	}
+	return v
+}
+
+// PushParams installs a parameter frame (used when running procedure
+// bodies through the statement dispatcher).
+func (ex *Executor) PushParams(f map[string]value.Value) { ex.params = append(ex.params, f) }
+
+// PopParams removes the top parameter frame.
+func (ex *Executor) PopParams() { ex.params = ex.params[:len(ex.params)-1] }

@@ -1,0 +1,11 @@
+package object
+
+import (
+	"repro/internal/codec"
+	"repro/internal/value"
+)
+
+// keyEncodeInt encodes an int the way the index layer does, for tests.
+func keyEncodeInt(v int64) ([]byte, bool) {
+	return codec.EncodeKey(value.NewInt(v))
+}

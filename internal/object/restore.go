@@ -1,0 +1,145 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Snapshot support: Export walks the live state in a stable order;
+// Restore* rebuilds objects with their original OIDs (bypassing
+// internalization — ownership is restored from the dump, not re-derived).
+
+// ExportObject is one dumped object.
+type ExportObject struct {
+	Extent string // "" for nursery components
+	OID    oid.OID
+	Owner  oid.OID
+	Data   []byte // codec-encoded tuple
+}
+
+// ExportObjects returns every live object, extents first (sorted by
+// name, then OID), nursery components last.
+func (s *Store) ExportObjects() ([]ExportObject, error) {
+	var ids []oid.OID
+	for id := range s.omap {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := s.omap[ids[i]], s.omap[ids[j]]
+		if a.extent != b.extent {
+			return a.extent < b.extent
+		}
+		return ids[i] < ids[j]
+	})
+	out := make([]ExportObject, 0, len(ids))
+	for _, id := range ids {
+		info := s.omap[id]
+		rec, err := s.heapFor(info).Get(info.rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExportObject{Extent: info.extent, OID: id, Owner: info.owner, Data: rec})
+	}
+	return out, nil
+}
+
+// ExportElems returns the raw elements of a ref/value-set extent.
+func (s *Store) ExportElems(extent string) ([][]byte, error) {
+	var out [][]byte
+	err := s.ScanElems(extent, func(_ storage.RID, v value.Value) error {
+		enc, err := encode(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, enc)
+		return nil
+	})
+	return out, err
+}
+
+// ExportVar returns the encoded value of a singleton/array variable.
+func (s *Store) ExportVar(name string) ([]byte, error) {
+	v, err := s.GetVar(name)
+	if err != nil {
+		return nil, err
+	}
+	return encode(v)
+}
+
+// RestoreObject re-creates an object with its original identity. The
+// extent (or the nursery for components) must already exist; the encoded
+// tuple is stored verbatim and indexed.
+func (s *Store) RestoreObject(o ExportObject) error {
+	if s.Exists(o.OID) {
+		return fmt.Errorf("restore: OID %s already live", o.OID)
+	}
+	v, err := codec.DecodeOne(o.Data, s.cat)
+	if err != nil {
+		return err
+	}
+	tv, ok := v.(*value.Tuple)
+	if !ok {
+		return fmt.Errorf("restore: object %s is not a tuple", o.OID)
+	}
+	var h *storage.HeapFile
+	if o.Extent == "" {
+		h = s.nursery
+	} else {
+		h = s.extents[o.Extent]
+		if h == nil {
+			return fmt.Errorf("restore: no extent %s", o.Extent)
+		}
+	}
+	rid, err := h.Insert(o.Data)
+	if err != nil {
+		return err
+	}
+	s.omap[o.OID] = &objInfo{extent: o.Extent, rid: rid, typ: tv.Type, owner: o.Owner}
+	if o.Extent != "" {
+		s.rids[o.Extent][rid] = o.OID
+		s.indexInsert(o.Extent, o.OID, tv)
+	}
+	s.gen.Advance(o.OID)
+	return nil
+}
+
+// RestoreElem re-creates one element of a ref/value-set extent.
+func (s *Store) RestoreElem(extent string, data []byte) error {
+	h, ok := s.elems[extent]
+	if !ok {
+		return fmt.Errorf("restore: no element extent %s", extent)
+	}
+	_, err := h.Insert(data)
+	return err
+}
+
+// RestoreVar overwrites a singleton/array variable with a dumped value
+// without ownership processing.
+func (s *Store) RestoreVar(name string, data []byte) error {
+	rid, ok := s.varRID[name]
+	if !ok {
+		return fmt.Errorf("restore: no variable %s", name)
+	}
+	nrid, err := s.vars.Update(rid, data)
+	if err != nil {
+		return err
+	}
+	s.varRID[name] = nrid
+	return nil
+}
+
+// MaxOID returns the highest live OID (for generator advancement).
+func (s *Store) MaxOID() oid.OID {
+	var m oid.OID
+	for id := range s.omap {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}

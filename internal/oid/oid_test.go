@@ -1,0 +1,74 @@
+package oid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil is not nil")
+	}
+	if OID(1).IsNil() {
+		t.Error("1 is nil")
+	}
+	if Nil.String() != "oid#nil" || OID(42).String() != "oid#42" {
+		t.Error("display forms wrong")
+	}
+}
+
+func TestGeneratorUnique(t *testing.T) {
+	var g Generator
+	seen := map[OID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id.IsNil() {
+			t.Fatal("generator emitted Nil")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorConcurrent(t *testing.T) {
+	var g Generator
+	const workers, per = 8, 500
+	out := make(chan OID, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := map[OID]bool{}
+	for id := range out {
+		if seen[id] {
+			t.Fatalf("duplicate %s under concurrency", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("lost ids: %d", len(seen))
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var g Generator
+	g.Advance(100)
+	if id := g.Next(); id <= 100 {
+		t.Fatalf("Next after Advance(100) = %s", id)
+	}
+	// Advance backwards is a no-op.
+	g.Advance(5)
+	if id := g.Next(); id <= 100 {
+		t.Fatalf("Advance moved backwards: %s", id)
+	}
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// BTree is an in-memory B+-tree mapping order-preserving encoded keys to
+// uint64 payloads (OIDs). Duplicate keys are supported: entries are
+// ordered by (key, value), so equal keys with distinct payloads coexist
+// and range scans return them all.
+//
+// It is the secondary access method of the system — the EXODUS storage
+// manager analogue kept node-resident rather than page-resident; the
+// optimizer's method table points selective predicates at it instead of
+// at a heap scan. Deletion is lazy (no rebalancing): removed entries
+// vanish immediately, underfull nodes are tolerated, which preserves all
+// ordering invariants while keeping the structure simple. This mirrors
+// deferred reorganization in real systems.
+type BTree struct {
+	root   node
+	height int
+	size   int
+}
+
+const btreeOrder = 64 // max entries per leaf / max children per inner node
+
+type entry struct {
+	key []byte
+	val uint64
+}
+
+type node interface {
+	isNode()
+}
+
+type leaf struct {
+	entries []entry
+	next    *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest (key,val) of children[i+1]'s subtree.
+	keys     []entry
+	children []node
+}
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &leaf{}, height: 1}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+func cmpEntry(a, b entry) int {
+	if c := bytes.Compare(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.val < b.val:
+		return -1
+	case a.val > b.val:
+		return 1
+	}
+	return 0
+}
+
+// Insert adds (key, val). Inserting an exact duplicate (same key and same
+// val) is a no-op and reports false.
+func (t *BTree) Insert(key []byte, val uint64) bool {
+	k := make([]byte, len(key))
+	copy(k, key)
+	e := entry{key: k, val: val}
+	split, sepKey, added := t.insert(t.root, e)
+	if split != nil {
+		t.root = &inner{keys: []entry{sepKey}, children: []node{t.root, split}}
+		t.height++
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert descends, returning a new right sibling and its separator when
+// the child split.
+func (t *BTree) insert(n node, e entry) (node, entry, bool) {
+	switch nd := n.(type) {
+	case *leaf:
+		i := lowerBound(nd.entries, e)
+		if i < len(nd.entries) && cmpEntry(nd.entries[i], e) == 0 {
+			return nil, entry{}, false // exact duplicate
+		}
+		nd.entries = append(nd.entries, entry{})
+		copy(nd.entries[i+1:], nd.entries[i:])
+		nd.entries[i] = e
+		if len(nd.entries) <= btreeOrder {
+			return nil, entry{}, true
+		}
+		mid := len(nd.entries) / 2
+		right := &leaf{entries: append([]entry(nil), nd.entries[mid:]...), next: nd.next}
+		nd.entries = nd.entries[:mid]
+		nd.next = right
+		return right, right.entries[0], true
+	case *inner:
+		i := childIndex(nd.keys, e)
+		split, sep, added := t.insert(nd.children[i], e)
+		if split == nil {
+			return nil, entry{}, added
+		}
+		nd.keys = append(nd.keys, entry{})
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = sep
+		nd.children = append(nd.children, nil)
+		copy(nd.children[i+2:], nd.children[i+1:])
+		nd.children[i+1] = split
+		if len(nd.children) <= btreeOrder {
+			return nil, entry{}, added
+		}
+		midK := len(nd.keys) / 2
+		sepUp := nd.keys[midK]
+		right := &inner{
+			keys:     append([]entry(nil), nd.keys[midK+1:]...),
+			children: append([]node(nil), nd.children[midK+1:]...),
+		}
+		nd.keys = nd.keys[:midK]
+		nd.children = nd.children[:midK+1]
+		return right, sepUp, added
+	}
+	panic("unreachable")
+}
+
+// lowerBound returns the first index whose entry is >= e.
+func lowerBound(es []entry, e entry) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntry(es[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child to descend into for e.
+func childIndex(keys []entry, e entry) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntry(keys[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes (key, val); it reports whether the entry existed.
+func (t *BTree) Delete(key []byte, val uint64) bool {
+	e := entry{key: key, val: val}
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *inner:
+			n = nd.children[childIndex(nd.keys, e)]
+		case *leaf:
+			i := lowerBound(nd.entries, e)
+			if i >= len(nd.entries) || cmpEntry(nd.entries[i], e) != 0 {
+				return false
+			}
+			nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+			t.size--
+			return true
+		}
+	}
+}
+
+// firstLeafGE locates the leaf and index of the first entry >= e.
+func (t *BTree) firstLeafGE(e entry) (*leaf, int) {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *inner:
+			n = nd.children[childIndex(nd.keys, e)]
+		case *leaf:
+			i := lowerBound(nd.entries, e)
+			return nd, i
+		}
+	}
+}
+
+// Range calls fn for every (key, val) with lo <= key <= hi (nil bounds
+// are unbounded, incLo/incHi control bound inclusion). Iteration stops
+// early when fn returns false.
+func (t *BTree) Range(lo, hi []byte, incLo, incHi bool, fn func(key []byte, val uint64) bool) {
+	var l *leaf
+	var i int
+	if lo == nil {
+		l, i = t.firstLeafGE(entry{})
+	} else {
+		start := entry{key: lo}
+		if !incLo {
+			// Skip all entries with key == lo: seek to (lo, max).
+			start.val = ^uint64(0)
+			l, i = t.firstLeafGE(start)
+			for l != nil && i < len(l.entries) && bytes.Equal(l.entries[i].key, lo) {
+				i++
+				if i >= len(l.entries) {
+					l, i = l.next, 0
+				}
+			}
+		} else {
+			l, i = t.firstLeafGE(start)
+		}
+	}
+	for l != nil {
+		for ; i < len(l.entries); i++ {
+			e := l.entries[i]
+			if hi != nil {
+				c := bytes.Compare(e.key, hi)
+				if c > 0 || (c == 0 && !incHi) {
+					return
+				}
+			}
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+		l, i = l.next, 0
+	}
+}
+
+// Lookup calls fn for every value stored under exactly key.
+func (t *BTree) Lookup(key []byte, fn func(val uint64) bool) {
+	t.Range(key, key, true, true, func(_ []byte, v uint64) bool { return fn(v) })
+}
+
+// CheckInvariants validates ordering, separator correctness and uniform
+// depth; it is used by the property-based tests.
+func (t *BTree) CheckInvariants() error {
+	depth := -1
+	var prev *entry
+	var walk func(n node, d int) error
+	walk = func(n node, d int) error {
+		switch nd := n.(type) {
+		case *leaf:
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("non-uniform leaf depth: %d vs %d", depth, d)
+			}
+			for i := range nd.entries {
+				e := &nd.entries[i]
+				if prev != nil && cmpEntry(*prev, *e) >= 0 {
+					return fmt.Errorf("entries out of order at key %x", e.key)
+				}
+				prev = e
+			}
+		case *inner:
+			if len(nd.children) != len(nd.keys)+1 {
+				return fmt.Errorf("inner node with %d keys and %d children", len(nd.keys), len(nd.children))
+			}
+			for i, c := range nd.children {
+				if err := walk(c, d+1); err != nil {
+					return err
+				}
+				if i < len(nd.keys) && prev != nil && cmpEntry(*prev, nd.keys[i]) >= 0 {
+					return fmt.Errorf("separator %x not greater than left subtree max", nd.keys[i].key)
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return err
+	}
+	n := 0
+	t.Range(nil, nil, true, true, func([]byte, uint64) bool { n++; return true })
+	if n != t.size {
+		return fmt.Errorf("size %d but %d entries reachable", t.size, n)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func key(n int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(n))
+	return b[:]
+}
+
+func TestBTreeInsertLookup(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		if !bt.Insert(key(i), uint64(i*10)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if bt.Len() != 1000 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+	if bt.Height() < 2 {
+		t.Error("tree never split")
+	}
+	for i := 0; i < 1000; i++ {
+		found := false
+		bt.Lookup(key(i), func(v uint64) bool {
+			found = v == uint64(i*10)
+			return false
+		})
+		if !found {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := NewBTree()
+	for v := uint64(0); v < 100; v++ {
+		bt.Insert(key(7), v)
+	}
+	// Exact duplicates are rejected.
+	if bt.Insert(key(7), 5) {
+		t.Error("exact duplicate accepted")
+	}
+	n := 0
+	bt.Lookup(key(7), func(uint64) bool { n++; return true })
+	if n != 100 {
+		t.Errorf("duplicate key lookup found %d", n)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i++ {
+		bt.Insert(key(i), uint64(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if !bt.Delete(key(i), uint64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if bt.Delete(key(0), 0) {
+		t.Error("double delete succeeded")
+	}
+	if bt.Len() != 250 {
+		t.Errorf("Len after deletes = %d", bt.Len())
+	}
+	for i := 0; i < 500; i++ {
+		found := false
+		bt.Lookup(key(i), func(uint64) bool { found = true; return false })
+		if found != (i%2 == 1) {
+			t.Fatalf("key %d presence = %v", i, found)
+		}
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Insert(key(i), uint64(i))
+	}
+	collect := func(lo, hi []byte, incLo, incHi bool) []uint64 {
+		var out []uint64
+		bt.Range(lo, hi, incLo, incHi, func(_ []byte, v uint64) bool {
+			out = append(out, v)
+			return true
+		})
+		return out
+	}
+	got := collect(key(10), key(20), true, true)
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Errorf("[10,20] = %v", got)
+	}
+	got = collect(key(10), key(20), false, false)
+	if len(got) != 9 || got[0] != 11 || got[8] != 19 {
+		t.Errorf("(10,20) = %v", got)
+	}
+	got = collect(nil, key(5), true, true)
+	if len(got) != 6 {
+		t.Errorf("(-inf,5] = %v", got)
+	}
+	got = collect(key(95), nil, true, true)
+	if len(got) != 5 {
+		t.Errorf("[95,inf) = %v", got)
+	}
+	got = collect(nil, nil, true, true)
+	if len(got) != 100 {
+		t.Errorf("full range = %d", len(got))
+	}
+	// Early termination.
+	n := 0
+	bt.Range(nil, nil, true, true, func(_ []byte, _ uint64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bt := NewBTree()
+	ref := map[int]bool{}
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(2000)
+		if rng.Intn(3) == 0 {
+			bt.Delete(key(k), uint64(k))
+			delete(ref, k)
+		} else {
+			bt.Insert(key(k), uint64(k))
+			ref[k] = true
+		}
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", bt.Len(), len(ref))
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	prev := -1
+	bt.Range(nil, nil, true, true, func(k []byte, v uint64) bool {
+		n := int(binary.BigEndian.Uint64(k))
+		if n <= prev {
+			t.Fatalf("out of order: %d after %d", n, prev)
+		}
+		prev = n
+		if !ref[n] {
+			t.Fatalf("phantom key %d", n)
+		}
+		got++
+		return true
+	})
+	if got != len(ref) {
+		t.Fatalf("range saw %d of %d", got, len(ref))
+	}
+}
+
+// Property: after inserting any set of keys, an in-order walk returns
+// them sorted and the invariants hold.
+func TestBTreeSortedProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		bt := NewBTree()
+		ref := map[uint16]bool{}
+		for _, k := range keys {
+			bt.Insert(key(int(k)), uint64(k))
+			ref[k] = true
+		}
+		if bt.CheckInvariants() != nil {
+			return false
+		}
+		prev := -1
+		ok := true
+		bt.Range(nil, nil, true, true, func(k []byte, _ uint64) bool {
+			n := int(binary.BigEndian.Uint64(k))
+			if n <= prev || !ref[uint16(n)] {
+				ok = false
+				return false
+			}
+			prev = n
+			return true
+		})
+		return ok && bt.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"testing"
+)
+
+func allocPages(t *testing.T, store PageStore, n int) []PageID {
+	t.Helper()
+	ids := make([]PageID, n)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := store.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	store := NewMemStore()
+	ids := allocPages(t, store, 4)
+	pool := NewBufferPool(store, 8)
+
+	buf, err := pool.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("wrong page content")
+	}
+	pool.Unpin(ids[0])
+	if _, err := pool.Pin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(ids[0])
+	st := pool.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %f", st.HitRate())
+	}
+}
+
+func TestPoolEviction(t *testing.T) {
+	store := NewMemStore()
+	ids := allocPages(t, store, 10)
+	pool := NewBufferPool(store, 2)
+	for _, id := range ids {
+		if _, err := pool.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id)
+	}
+	st := pool.Stats()
+	if st.Evictions != 8 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+	// LRU: re-pinning the last two hits; earlier ones miss.
+	pool.ResetStats()
+	pool.Pin(ids[9])
+	pool.Unpin(ids[9])
+	pool.Pin(ids[0])
+	pool.Unpin(ids[0])
+	st = pool.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("LRU stats = %+v", st)
+	}
+}
+
+func TestPoolDirtyWriteback(t *testing.T) {
+	store := NewMemStore()
+	ids := allocPages(t, store, 3)
+	pool := NewBufferPool(store, 1)
+
+	buf, _ := pool.Pin(ids[0])
+	buf[1] = 0xAB
+	pool.MarkDirty(ids[0])
+	pool.Unpin(ids[0])
+	// Evict by pinning another page.
+	pool.Pin(ids[1])
+	pool.Unpin(ids[1])
+
+	check := make([]byte, PageSize)
+	store.Read(ids[0], check)
+	if check[1] != 0xAB {
+		t.Error("dirty page lost on eviction")
+	}
+
+	// FlushAll persists without eviction.
+	buf, _ = pool.Pin(ids[2])
+	buf[2] = 0xCD
+	pool.MarkDirty(ids[2])
+	pool.Unpin(ids[2])
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	store.Read(ids[2], check)
+	if check[2] != 0xCD {
+		t.Error("FlushAll lost data")
+	}
+}
+
+func TestPoolAllFramesPinned(t *testing.T) {
+	store := NewMemStore()
+	ids := allocPages(t, store, 3)
+	pool := NewBufferPool(store, 2)
+	pool.Pin(ids[0])
+	pool.Pin(ids[1])
+	if _, err := pool.Pin(ids[2]); err == nil {
+		t.Error("pin beyond capacity with all frames pinned succeeded")
+	}
+	pool.Unpin(ids[0])
+	if _, err := pool.Pin(ids[2]); err != nil {
+		t.Errorf("pin after unpin failed: %v", err)
+	}
+}
+
+func TestPoolPinNew(t *testing.T) {
+	store := NewMemStore()
+	pool := NewBufferPool(store, 4)
+	id, buf, err := pool.PinNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("PinNew buffer not zeroed")
+		}
+	}
+	buf[0] = 7
+	pool.MarkDirty(id)
+	pool.Unpin(id)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	check := make([]byte, PageSize)
+	store.Read(id, check)
+	if check[0] != 7 {
+		t.Error("PinNew content lost")
+	}
+}
+
+func TestPoolDrop(t *testing.T) {
+	store := NewMemStore()
+	ids := allocPages(t, store, 1)
+	pool := NewBufferPool(store, 4)
+	buf, _ := pool.Pin(ids[0])
+	buf[0] = 0xFF
+	pool.MarkDirty(ids[0])
+	pool.Unpin(ids[0])
+	pool.Drop(ids[0]) // discard without write-back
+	check := make([]byte, PageSize)
+	store.Read(ids[0], check)
+	if check[0] == 0xFF {
+		t.Error("Drop wrote back a discarded page")
+	}
+}
+
+func TestMemStoreFreeReuse(t *testing.T) {
+	store := NewMemStore()
+	id1, _ := store.Allocate()
+	if err := store.Free(id1); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := store.Allocate()
+	if id1 != id2 {
+		t.Errorf("freed page not reused: %d vs %d", id1, id2)
+	}
+	if err := store.Free(PageID(999)); err == nil {
+		t.Error("freeing unallocated page accepted")
+	}
+	if err := store.Read(PageID(999), make([]byte, PageSize)); err == nil {
+		t.Error("reading unallocated page accepted")
+	}
+}

@@ -1,0 +1,234 @@
+// Package storage is the EXODUS storage manager substitute: slotted
+// pages, a pinning LRU buffer pool over a pluggable page store (in-memory
+// or file-backed), heap files with overflow chains for large records, and
+// a B+-tree access method over order-preserving encoded keys.
+//
+// The paper builds EXTRA/EXCESS on top of the EXODUS storage manager; the
+// interesting property for reproducing its design discussion is that the
+// optimizer must choose between access methods with real, different costs
+// (heap scan vs index lookup, buffered vs unbuffered pages), which this
+// package provides.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a store. Zero is never a valid page.
+type PageID uint64
+
+// Slotted page layout:
+//
+//	[0:2)  numSlots  uint16
+//	[2:4)  freeEnd   uint16  (records grow down from PageSize to freeEnd)
+//	[4:..) slot array, 4 bytes per slot: off uint16, len uint16
+//
+// A dead slot has off == deadSlot. Record space freed by deletion is
+// reclaimed only by compaction (Compact), as in classic slotted pages.
+const (
+	pageHdr  = 4
+	slotSize = 4
+	deadSlot = 0xFFFF
+)
+
+// SlotID is the index of a record within a page.
+type SlotID uint16
+
+// RID is a record identifier: page plus slot.
+type RID struct {
+	Page PageID
+	Slot SlotID
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", r.Page, r.Slot) }
+
+// IsNil reports whether the RID is the zero RID.
+func (r RID) IsNil() bool { return r.Page == 0 }
+
+// Page wraps a raw page buffer with slotted-page operations. The buffer
+// is owned by the buffer pool frame it came from.
+type Page struct {
+	Buf []byte
+}
+
+// InitPage formats a zeroed buffer as an empty slotted page.
+func InitPage(buf []byte) Page {
+	p := Page{Buf: buf}
+	p.setNumSlots(0)
+	p.setFreeEnd(uint16(len(buf)))
+	return p
+}
+
+func (p Page) numSlots() uint16     { return binary.LittleEndian.Uint16(p.Buf[0:2]) }
+func (p Page) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.Buf[0:2], n) }
+func (p Page) freeEnd() uint16      { return binary.LittleEndian.Uint16(p.Buf[2:4]) }
+func (p Page) setFreeEnd(n uint16)  { binary.LittleEndian.PutUint16(p.Buf[2:4], n) }
+
+func (p Page) slot(i SlotID) (off, ln uint16) {
+	b := p.Buf[pageHdr+int(i)*slotSize:]
+	return binary.LittleEndian.Uint16(b[0:2]), binary.LittleEndian.Uint16(b[2:4])
+}
+
+func (p Page) setSlot(i SlotID, off, ln uint16) {
+	b := p.Buf[pageHdr+int(i)*slotSize:]
+	binary.LittleEndian.PutUint16(b[0:2], off)
+	binary.LittleEndian.PutUint16(b[2:4], ln)
+}
+
+// FreeSpace returns the bytes available for a new record including its
+// slot entry.
+func (p Page) FreeSpace() int {
+	used := pageHdr + int(p.numSlots())*slotSize
+	free := int(p.freeEnd()) - used
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// CanFit reports whether a record of n bytes fits on this page.
+func (p Page) CanFit(n int) bool { return p.FreeSpace() >= n+slotSize }
+
+// MaxRecord is the largest record an empty page can hold.
+func MaxRecord(pageLen int) int { return pageLen - pageHdr - slotSize }
+
+// Insert adds a record and returns its slot. The caller must have
+// verified CanFit; Insert fails otherwise. Dead slots are reused.
+func (p Page) Insert(rec []byte) (SlotID, error) {
+	if !p.CanFit(len(rec)) {
+		return 0, fmt.Errorf("page full: %d bytes free, need %d", p.FreeSpace(), len(rec)+slotSize)
+	}
+	off := p.freeEnd() - uint16(len(rec))
+	copy(p.Buf[off:], rec)
+	p.setFreeEnd(off)
+	// Reuse a dead slot if one exists.
+	n := p.numSlots()
+	for i := SlotID(0); i < SlotID(n); i++ {
+		if o, _ := p.slot(i); o == deadSlot {
+			p.setSlot(i, off, uint16(len(rec)))
+			return i, nil
+		}
+	}
+	p.setSlot(SlotID(n), off, uint16(len(rec)))
+	p.setNumSlots(n + 1)
+	return SlotID(n), nil
+}
+
+// Get returns the record bytes stored in the slot. The returned slice
+// aliases the page buffer; callers that hold it across unpin must copy.
+func (p Page) Get(s SlotID) ([]byte, error) {
+	if s >= SlotID(p.numSlots()) {
+		return nil, fmt.Errorf("slot %d out of range", s)
+	}
+	off, ln := p.slot(s)
+	if off == deadSlot {
+		return nil, fmt.Errorf("slot %d deleted", s)
+	}
+	return p.Buf[off : off+ln], nil
+}
+
+// Delete marks the slot dead. Space is reclaimed at the next Compact.
+func (p Page) Delete(s SlotID) error {
+	if s >= SlotID(p.numSlots()) {
+		return fmt.Errorf("slot %d out of range", s)
+	}
+	if off, _ := p.slot(s); off == deadSlot {
+		return fmt.Errorf("slot %d already deleted", s)
+	}
+	p.setSlot(s, deadSlot, 0)
+	return nil
+}
+
+// Update replaces the record in a slot when the new record fits either in
+// place or in remaining free space; it reports false when the record must
+// move to another page.
+func (p Page) Update(s SlotID, rec []byte) (bool, error) {
+	if s >= SlotID(p.numSlots()) {
+		return false, fmt.Errorf("slot %d out of range", s)
+	}
+	off, ln := p.slot(s)
+	if off == deadSlot {
+		return false, fmt.Errorf("slot %d deleted", s)
+	}
+	if len(rec) <= int(ln) {
+		copy(p.Buf[off:], rec)
+		p.setSlot(s, off, uint16(len(rec)))
+		return true, nil
+	}
+	if p.FreeSpace() >= len(rec) { // slot entry already exists
+		noff := p.freeEnd() - uint16(len(rec))
+		copy(p.Buf[noff:], rec)
+		p.setFreeEnd(noff)
+		p.setSlot(s, noff, uint16(len(rec)))
+		return true, nil
+	}
+	// Try compaction once: deleting dead space may make room.
+	p.Compact()
+	if p.FreeSpace() >= len(rec) {
+		noff := p.freeEnd() - uint16(len(rec))
+		copy(p.Buf[noff:], rec)
+		p.setFreeEnd(noff)
+		p.setSlot(s, noff, uint16(len(rec)))
+		return true, nil
+	}
+	return false, nil
+}
+
+// Slots iterates over the live slots of the page in slot order.
+func (p Page) Slots(fn func(s SlotID, rec []byte) error) error {
+	n := SlotID(p.numSlots())
+	for i := SlotID(0); i < n; i++ {
+		off, ln := p.slot(i)
+		if off == deadSlot {
+			continue
+		}
+		if err := fn(i, p.Buf[off:off+ln]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LiveCount returns the number of live records on the page.
+func (p Page) LiveCount() int {
+	n := 0
+	cnt := SlotID(p.numSlots())
+	for i := SlotID(0); i < cnt; i++ {
+		if off, _ := p.slot(i); off != deadSlot {
+			n++
+		}
+	}
+	return n
+}
+
+// Compact rewrites the record area, squeezing out space left by deleted
+// and shrunk records. Slot ids are preserved.
+func (p Page) Compact() {
+	type rec struct {
+		slot SlotID
+		data []byte
+	}
+	var recs []rec
+	n := SlotID(p.numSlots())
+	for i := SlotID(0); i < n; i++ {
+		off, ln := p.slot(i)
+		if off == deadSlot {
+			continue
+		}
+		d := make([]byte, ln)
+		copy(d, p.Buf[off:off+ln])
+		recs = append(recs, rec{slot: i, data: d})
+	}
+	end := uint16(len(p.Buf))
+	for _, r := range recs {
+		end -= uint16(len(r.data))
+		copy(p.Buf[end:], r.data)
+		p.setSlot(r.slot, end, uint16(len(r.data)))
+	}
+	p.setFreeEnd(end)
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func newTestPage() Page {
+	return InitPage(make([]byte, PageSize))
+}
+
+func TestPageInsertGet(t *testing.T) {
+	p := newTestPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var slots []SlotID
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Get(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Errorf("slot %d = %q, want %q", s, got, recs[i])
+		}
+	}
+	if p.LiveCount() != 3 {
+		t.Errorf("LiveCount = %d", p.LiveCount())
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := newTestPage()
+	s1, _ := p.Insert([]byte("one"))
+	s2, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s1); err == nil {
+		t.Error("deleted slot readable")
+	}
+	if err := p.Delete(s1); err == nil {
+		t.Error("double delete accepted")
+	}
+	if got, _ := p.Get(s2); !bytes.Equal(got, []byte("two")) {
+		t.Error("delete corrupted neighbour")
+	}
+	// Dead slots are reused by inserts.
+	s3, _ := p.Insert([]byte("three"))
+	if s3 != s1 {
+		t.Errorf("dead slot not reused: got %d want %d", s3, s1)
+	}
+	if err := p.Delete(SlotID(99)); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+}
+
+func TestPageUpdate(t *testing.T) {
+	p := newTestPage()
+	s, _ := p.Insert([]byte("abcdef"))
+	// Shrinking update is in place.
+	ok, err := p.Update(s, []byte("xy"))
+	if err != nil || !ok {
+		t.Fatalf("shrink: %v %v", ok, err)
+	}
+	if got, _ := p.Get(s); string(got) != "xy" {
+		t.Errorf("after shrink: %q", got)
+	}
+	// Growing update uses free space.
+	ok, err = p.Update(s, bytes.Repeat([]byte("z"), 100))
+	if err != nil || !ok {
+		t.Fatalf("grow: %v %v", ok, err)
+	}
+	if got, _ := p.Get(s); len(got) != 100 {
+		t.Errorf("after grow: %d bytes", len(got))
+	}
+}
+
+func TestPageFullAndCompact(t *testing.T) {
+	p := newTestPage()
+	rec := bytes.Repeat([]byte("r"), 100)
+	var slots []SlotID
+	for p.CanFit(len(rec)) {
+		s, err := p.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if _, err := p.Insert(rec); err == nil {
+		t.Error("overfull insert accepted")
+	}
+	// Delete half, compact, and verify the space comes back.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Compact()
+	if !p.CanFit(len(rec)) {
+		t.Error("compaction reclaimed nothing")
+	}
+	// Survivors intact after compaction.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Get(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("slot %d after compact: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageUpdateTriggersCompaction(t *testing.T) {
+	p := newTestPage()
+	big := bytes.Repeat([]byte("b"), 1500)
+	s1, _ := p.Insert(big)
+	s2, _ := p.Insert(big)
+	if _, err := p.Insert(big); err == nil {
+		t.Fatal("third big record fit unexpectedly")
+	}
+	// Shrink s1, then grow s2 beyond contiguous free space: compaction
+	// inside Update must make it fit.
+	if _, err := p.Update(s1, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Update(s2, bytes.Repeat([]byte("c"), 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("update failed despite reclaimable space")
+	}
+}
+
+func TestPageSlots(t *testing.T) {
+	p := newTestPage()
+	for i := 0; i < 5; i++ {
+		p.Insert([]byte{byte(i)})
+	}
+	p.Delete(SlotID(2))
+	var seen []SlotID
+	p.Slots(func(s SlotID, rec []byte) error {
+		seen = append(seen, s)
+		return nil
+	})
+	if len(seen) != 4 {
+		t.Errorf("Slots visited %v", seen)
+	}
+	// Early exit on error.
+	calls := 0
+	err := p.Slots(func(s SlotID, rec []byte) error {
+		calls++
+		return fmt.Errorf("stop")
+	})
+	if err == nil || calls != 1 {
+		t.Error("Slots error propagation")
+	}
+}

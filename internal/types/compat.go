@@ -1,0 +1,148 @@
+package types
+
+import "fmt"
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// slot of type dst (an attribute, a set element, a function argument).
+//
+// The rules follow the paper's value-oriented treatment of own data and
+// object-oriented treatment of references:
+//
+//   - numeric types widen (int1 -> int2 -> int4 -> float4 -> float8);
+//   - char[n] and varchar interconvert freely (char pads/truncates);
+//   - a tuple value is assignable to a supertype slot (subsumption);
+//   - a ref T is assignable to ref U when T is a subtype of U;
+//   - sets and arrays are assignable when their element components are
+//     compatible (same mode, assignable type);
+//   - enums and ADTs require identity.
+func AssignableTo(src, dst Type) bool {
+	if src.Equal(dst) {
+		return true
+	}
+	sk, dk := src.Kind(), dst.Kind()
+	switch {
+	case sk.IsNumeric() && dk.IsNumeric():
+		// All numeric pairs are assignable; narrowing is range-checked at
+		// runtime when the value is stored.
+		return true
+	case sk.IsString() && dk.IsString():
+		return true
+	}
+	switch d := dst.(type) {
+	case *TupleType:
+		s, ok := src.(*TupleType)
+		return ok && s.IsSubtypeOf(d)
+	case *Ref:
+		s, ok := src.(*Ref)
+		return ok && s.Target.IsSubtypeOf(d.Target)
+	case *Set:
+		s, ok := src.(*Set)
+		return ok && componentCompatible(s.Elem, d.Elem)
+	case *Array:
+		s, ok := src.(*Array)
+		if !ok || componentCompatible(s.Elem, d.Elem) == false {
+			return false
+		}
+		if d.Fixed {
+			return s.Fixed && s.Len == d.Len
+		}
+		return true
+	}
+	return false
+}
+
+func componentCompatible(src, dst Component) bool {
+	return src.Mode == dst.Mode && AssignableTo(src.Type, dst.Type)
+}
+
+func numericRank(k Kind) int {
+	switch k {
+	case KInt1:
+		return 1
+	case KInt2:
+		return 2
+	case KInt4:
+		return 3
+	case KFloat4:
+		return 4
+	case KFloat8:
+		return 5
+	}
+	return 0
+}
+
+// Promote returns the common numeric type of two numeric kinds, used for
+// arithmetic result typing: the wider of the two, with any float making
+// the result float.
+func Promote(a, b Type) (Type, error) {
+	ak, bk := a.Kind(), b.Kind()
+	if !ak.IsNumeric() || !bk.IsNumeric() {
+		return nil, fmt.Errorf("cannot promote %s and %s", a, b)
+	}
+	r := numericRank(ak)
+	if numericRank(bk) > r {
+		r = numericRank(bk)
+	}
+	switch r {
+	case 1:
+		return Int1, nil
+	case 2:
+		return Int2, nil
+	case 3:
+		return Int4, nil
+	case 4:
+		return Float4, nil
+	default:
+		return Float8, nil
+	}
+}
+
+// Comparable reports whether values of the two types may be compared with
+// the ordering operators (<, <=, >, >=) and equality. References are
+// excluded: the only comparisons on refs are is / isnot, which the paper
+// defines as object identity rather than recursive value equality.
+func Comparable(a, b Type) bool {
+	ak, bk := a.Kind(), b.Kind()
+	switch {
+	case ak.IsNumeric() && bk.IsNumeric():
+		return true
+	case ak.IsString() && bk.IsString():
+		return true
+	case ak == KBool && bk == KBool:
+		return true
+	case ak == KEnum && bk == KEnum:
+		return a.Equal(b)
+	case ak == KADT && bk == KADT:
+		return a.Equal(b) // ordering subject to the ADT registering less_than
+	}
+	return false
+}
+
+// CommonSuper returns the least common ancestor of two tuple types in the
+// lattice when one exists and is unique along the checked paths; used to
+// type conditional expressions and set unions over objects. Falls back to
+// the first shared ancestor found in a's ancestor order.
+func CommonSuper(a, b *TupleType) (*TupleType, bool) {
+	if a.IsSubtypeOf(b) {
+		return b, true
+	}
+	if b.IsSubtypeOf(a) {
+		return a, true
+	}
+	// Breadth-first up a's supers looking for an ancestor of b's set.
+	queue := []*TupleType{}
+	for _, s := range a.Supers {
+		queue = append(queue, s.Type)
+	}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if b.IsSubtypeOf(t) {
+			return t, true
+		}
+		for _, s := range t.Supers {
+			queue = append(queue, s.Type)
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,283 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attr is one attribute of a tuple type: a name plus a Component (mode and
+// type). By default attributes are own attributes; ref and own ref must be
+// declared explicitly.
+type Attr struct {
+	Name string
+	Comp Component
+}
+
+// String renders the attribute in DDL syntax, e.g. "kids: { own Person }".
+func (a Attr) String() string { return a.Name + ": " + a.Comp.String() }
+
+// Rename redirects one inherited attribute: the attribute called Old in
+// the inherited-from supertype is known as New in the subtype. Renaming is
+// EXTRA's only conflict-resolution mechanism (the paper provides no
+// automatic resolution, unlike POSTGRES, and does not disallow conflicts
+// outright, unlike TAXIS).
+type Rename struct {
+	Super string // name of the supertype the attribute comes from
+	Old   string // attribute name in the supertype
+	New   string // attribute name as seen in the subtype
+}
+
+// Super records one inheritance edge of the lattice, together with any
+// renames applied along that edge.
+type Super struct {
+	Type    *TupleType
+	Renames []Rename
+}
+
+// TupleType is a named schema type: a tuple of attributes, possibly
+// inheriting from several supertypes (EXTRA supports multiple
+// inheritance, forming a lattice).
+//
+// A TupleType is immutable once built via NewTupleType; the resolved
+// attribute table is computed eagerly so that conflicts are reported at
+// definition time, as the paper requires.
+type TupleType struct {
+	Name   string
+	Supers []Super
+	Own    []Attr // attributes declared directly on this type
+
+	all     []Attr            // resolved: inherited (post-rename) + own
+	index   map[string]int    // attribute name -> position in all
+	origin  map[string]string // attribute name -> defining type name
+	ancestn map[string]bool   // transitive ancestor set (by name), incl. self
+}
+
+// NewTupleType builds and validates a schema type. It resolves the full
+// attribute table, applying renames, and fails if two distinct inherited
+// attributes end up with the same name (a lattice conflict, Figure 3), if
+// a rename references a missing attribute, or if an own attribute
+// redeclares an inherited name with an incompatible component.
+func NewTupleType(name string, supers []Super, own []Attr) (*TupleType, error) {
+	t := NewForward(name)
+	if err := t.Complete(supers, own); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewForward creates a forward declaration of a schema type: a named
+// TupleType with no attributes yet. It exists so that a type's attributes
+// may refer to the type itself ("kids: { own ref Person }" inside the
+// definition of Person); the declaration must be finished with Complete
+// before use.
+func NewForward(name string) *TupleType {
+	return &TupleType{
+		Name:    name,
+		index:   make(map[string]int),
+		origin:  make(map[string]string),
+		ancestn: map[string]bool{name: true},
+	}
+}
+
+// Complete finishes a forward declaration, resolving the attribute table
+// exactly as NewTupleType does. It may be called once.
+func (t *TupleType) Complete(supers []Super, own []Attr) error {
+	if t.all != nil || t.Own != nil || t.Supers != nil {
+		return fmt.Errorf("type %s already completed", t.Name)
+	}
+	t.Supers = supers
+	t.Own = own
+	for _, s := range supers {
+		for anc := range s.Type.ancestn {
+			t.ancestn[anc] = true
+		}
+	}
+	return t.resolve()
+}
+
+// MustTupleType is NewTupleType that panics on error; for tests and
+// built-in schemas.
+func MustTupleType(name string, supers []Super, own []Attr) *TupleType {
+	t, err := NewTupleType(name, supers, own)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *TupleType) resolve() error {
+	// Gather inherited attributes super by super, applying renames.
+	seen := map[string]string{} // name -> origin type name
+	for _, s := range t.Supers {
+		rename := map[string]string{}
+		for _, r := range s.Renames {
+			if r.Super != "" && r.Super != s.Type.Name {
+				continue
+			}
+			if _, ok := s.Type.index[r.Old]; !ok {
+				return fmt.Errorf("type %s: rename of unknown attribute %s.%s",
+					t.Name, s.Type.Name, r.Old)
+			}
+			if _, dup := rename[r.Old]; dup {
+				return fmt.Errorf("type %s: attribute %s.%s renamed twice",
+					t.Name, s.Type.Name, r.Old)
+			}
+			rename[r.Old] = r.New
+		}
+		for _, a := range s.Type.all {
+			nm := a.Name
+			if nn, ok := rename[nm]; ok {
+				nm = nn
+			}
+			origin := s.Type.origin[a.Name]
+			if prev, dup := seen[nm]; dup {
+				// The same attribute reaching us along two lattice paths
+				// (diamond inheritance from a common ancestor) is not a
+				// conflict; two distinct attributes with one name is.
+				if prev == origin && t.attrByName(nm).Comp.Equal(a.Comp) {
+					continue
+				}
+				return fmt.Errorf("type %s: inherited attribute conflict on %q (from %s and %s); resolve with rename",
+					t.Name, nm, prev, origin)
+			}
+			seen[nm] = origin
+			t.all = append(t.all, Attr{Name: nm, Comp: a.Comp})
+			t.index[nm] = len(t.all) - 1
+			t.origin[nm] = origin
+		}
+	}
+	// Layer on the locally declared attributes.
+	for _, a := range t.Own {
+		if err := a.Comp.Validate(); err != nil {
+			return fmt.Errorf("type %s, attribute %s: %w", t.Name, a.Name, err)
+		}
+		if i, dup := t.index[a.Name]; dup {
+			// Redeclaration of an inherited attribute is allowed only as a
+			// compatible specialization (same mode, subtype or equal type).
+			inh := t.all[i]
+			if a.Comp.Mode != inh.Comp.Mode || !specializes(a.Comp.Type, inh.Comp.Type) {
+				return fmt.Errorf("type %s: attribute %q conflicts with inherited %s.%s; resolve with rename",
+					t.Name, a.Name, t.origin[a.Name], a.Name)
+			}
+			t.all[i] = a
+			t.origin[a.Name] = t.Name
+			continue
+		}
+		t.all = append(t.all, a)
+		t.index[a.Name] = len(t.all) - 1
+		t.origin[a.Name] = t.Name
+	}
+	return nil
+}
+
+// specializes reports whether sub may redeclare super in a subtype:
+// identical types, or tuple/ref-of-tuple covariance down the lattice.
+func specializes(sub, super Type) bool {
+	if sub.Equal(super) {
+		return true
+	}
+	if st, ok := sub.(*TupleType); ok {
+		if pt, ok2 := super.(*TupleType); ok2 {
+			return st.IsSubtypeOf(pt)
+		}
+	}
+	if sr, ok := sub.(*Ref); ok {
+		if pr, ok2 := super.(*Ref); ok2 {
+			return sr.Target.IsSubtypeOf(pr.Target)
+		}
+	}
+	return false
+}
+
+func (t *TupleType) attrByName(name string) Attr {
+	if i, ok := t.index[name]; ok {
+		return t.all[i]
+	}
+	return Attr{}
+}
+
+// Kind implements Type.
+func (t *TupleType) Kind() Kind { return KTuple }
+
+// String implements Type: named types render as their name.
+func (t *TupleType) String() string { return t.Name }
+
+// Equal implements Type: schema types compare by name.
+func (t *TupleType) Equal(o Type) bool {
+	ot, ok := o.(*TupleType)
+	return ok && ot.Name == t.Name
+}
+
+// Attrs returns the fully resolved attribute list: inherited attributes
+// (renamed as declared) in supertype order, followed by locally declared
+// attributes. The returned slice must not be modified.
+func (t *TupleType) Attrs() []Attr { return t.all }
+
+// Attr looks up an attribute (inherited or own) by name.
+func (t *TupleType) Attr(name string) (Attr, bool) {
+	i, ok := t.index[name]
+	if !ok {
+		return Attr{}, false
+	}
+	return t.all[i], true
+}
+
+// AttrIndex returns the position of the named attribute in Attrs, or -1.
+func (t *TupleType) AttrIndex(name string) int {
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Origin returns the name of the type that declared the attribute
+// (following inheritance), or "" if the attribute does not exist.
+func (t *TupleType) Origin(attr string) string { return t.origin[attr] }
+
+// IsSubtypeOf reports whether t is o or a (transitive) subtype of o in
+// the lattice.
+func (t *TupleType) IsSubtypeOf(o *TupleType) bool {
+	return t.ancestn[o.Name]
+}
+
+// Ancestors returns the names of all ancestors of t (including t itself),
+// sorted, for diagnostics and catalog display.
+func (t *TupleType) Ancestors() []string {
+	out := make([]string, 0, len(t.ancestn))
+	for n := range t.ancestn {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DDL renders the full "define type" statement that would recreate t.
+func (t *TupleType) DDL() string {
+	s := "define type " + t.Name
+	if len(t.Supers) > 0 {
+		s += " inherits "
+		for i, sup := range t.Supers {
+			if i > 0 {
+				s += ", "
+			}
+			s += sup.Type.Name
+			for j, r := range sup.Renames {
+				if j == 0 {
+					s += " with "
+				} else {
+					s += " and "
+				}
+				s += r.Old + " renamed " + r.New
+			}
+		}
+	}
+	s += ":\n("
+	for i, a := range t.Own {
+		if i > 0 {
+			s += ",\n "
+		}
+		s += " " + a.String()
+	}
+	s += " )"
+	return s
+}

@@ -1,0 +1,318 @@
+// Package types implements the EXTRA type system.
+//
+// EXTRA provides a set of predefined base types (integers of several
+// widths, floats, booleans, character strings, enumerations), an abstract
+// data type (ADT) escape hatch for new base types, and the type
+// constructors tuple, set, fixed-length array, variable-length array and
+// reference. Tuple types are the schema types of the paper: they are
+// named, participate in a multiple-inheritance lattice, and their
+// attributes carry one of three value kinds — own (a value, no identity),
+// ref (a reference to an independent object) and own ref (a reference to
+// an exclusively-owned component object).
+package types
+
+import "fmt"
+
+// Kind discriminates the structural families of EXTRA types.
+type Kind int
+
+// The EXTRA type kinds.
+const (
+	KInvalid Kind = iota
+	KInt1         // 1-byte integer
+	KInt2         // 2-byte integer
+	KInt4         // 4-byte integer
+	KFloat4       // single-precision float
+	KFloat8       // double-precision float
+	KBool         // boolean
+	KChar         // fixed-length character string char[n]
+	KVarchar      // variable-length character string
+	KEnum         // enumeration
+	KADT          // abstract data type (E-language dbclass substitute)
+	KTuple        // tuple (schema) type
+	KSet          // set constructor { T }
+	KArray        // array constructor [n] T (fixed) or [] T (variable)
+	KRef          // reference constructor ref T
+)
+
+var kindNames = map[Kind]string{
+	KInvalid: "invalid", KInt1: "int1", KInt2: "int2", KInt4: "int4",
+	KFloat4: "float4", KFloat8: "float8", KBool: "bool", KChar: "char",
+	KVarchar: "varchar", KEnum: "enum", KADT: "adt", KTuple: "tuple",
+	KSet: "set", KArray: "array", KRef: "ref",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsNumeric reports whether the kind is an integer or floating point kind.
+func (k Kind) IsNumeric() bool {
+	switch k {
+	case KInt1, KInt2, KInt4, KFloat4, KFloat8:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether the kind is an integer kind.
+func (k Kind) IsInteger() bool {
+	return k == KInt1 || k == KInt2 || k == KInt4
+}
+
+// IsString reports whether the kind is a character-string kind.
+func (k Kind) IsString() bool { return k == KChar || k == KVarchar }
+
+// Type is the interface implemented by all EXTRA types.
+type Type interface {
+	// Kind returns the structural family of the type.
+	Kind() Kind
+	// String renders the type in EXCESS DDL syntax.
+	String() string
+	// Equal reports structural equality. Named tuple, enum and ADT types
+	// compare by name; constructed types compare component-wise.
+	Equal(Type) bool
+}
+
+// Base is a predefined scalar type. Width is meaningful only for KChar,
+// where it is the declared length n of char[n].
+type Base struct {
+	K     Kind
+	Width int
+}
+
+// Predefined base types shared by the whole system.
+var (
+	Int1    = &Base{K: KInt1}
+	Int2    = &Base{K: KInt2}
+	Int4    = &Base{K: KInt4}
+	Float4  = &Base{K: KFloat4}
+	Float8  = &Base{K: KFloat8}
+	Boolean = &Base{K: KBool}
+	Varchar = &Base{K: KVarchar}
+)
+
+// Char returns the fixed-length string type char[n].
+func Char(n int) *Base { return &Base{K: KChar, Width: n} }
+
+// Kind implements Type.
+func (b *Base) Kind() Kind { return b.K }
+
+// String implements Type.
+func (b *Base) String() string {
+	if b.K == KChar {
+		return fmt.Sprintf("char[%d]", b.Width)
+	}
+	return b.K.String()
+}
+
+// Equal implements Type.
+func (b *Base) Equal(o Type) bool {
+	ob, ok := o.(*Base)
+	if !ok {
+		return false
+	}
+	if b.K != ob.K {
+		return false
+	}
+	return b.K != KChar || b.Width == ob.Width
+}
+
+// Enum is a named enumeration type. Values are identified by ordinal
+// position in Labels.
+type Enum struct {
+	Name   string
+	Labels []string
+}
+
+// Kind implements Type.
+func (e *Enum) Kind() Kind { return KEnum }
+
+// String implements Type.
+func (e *Enum) String() string { return e.Name }
+
+// Equal implements Type: named types compare by name.
+func (e *Enum) Equal(o Type) bool {
+	oe, ok := o.(*Enum)
+	return ok && oe.Name == e.Name
+}
+
+// Ordinal returns the position of label in the enumeration, or -1.
+func (e *Enum) Ordinal(label string) int {
+	for i, l := range e.Labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// ADT is a named abstract data type. The behaviour (member functions and
+// operators) lives in the adt registry; the type system only needs the
+// name for identity and display.
+type ADT struct {
+	Name string
+}
+
+// Kind implements Type.
+func (a *ADT) Kind() Kind { return KADT }
+
+// String implements Type.
+func (a *ADT) String() string { return a.Name }
+
+// Equal implements Type: ADTs compare by name.
+func (a *ADT) Equal(o Type) bool {
+	oa, ok := o.(*ADT)
+	return ok && oa.Name == a.Name
+}
+
+// Set is the set constructor { Elem }. Elem is the element descriptor and
+// carries the own/ref/own-ref kind of the members, exactly as an attribute
+// does: "{ own Person }" embeds person values, "{ ref Person }" holds
+// references, "{ own ref Person }" holds exclusively owned components.
+type Set struct {
+	Elem Component
+}
+
+// Kind implements Type.
+func (s *Set) Kind() Kind { return KSet }
+
+// String implements Type.
+func (s *Set) String() string { return "{" + s.Elem.String() + "}" }
+
+// Equal implements Type.
+func (s *Set) Equal(o Type) bool {
+	os, ok := o.(*Set)
+	return ok && s.Elem.Equal(os.Elem)
+}
+
+// Array is the fixed- or variable-length array constructor. Fixed arrays
+// render as "[n] T", variable arrays as "[] T".
+type Array struct {
+	Elem  Component
+	Len   int  // declared length; meaningful only if Fixed
+	Fixed bool // fixed-length if true
+}
+
+// Kind implements Type.
+func (a *Array) Kind() Kind { return KArray }
+
+// String implements Type.
+func (a *Array) String() string {
+	if a.Fixed {
+		return fmt.Sprintf("[%d] %s", a.Len, a.Elem.String())
+	}
+	return "[] " + a.Elem.String()
+}
+
+// Equal implements Type.
+func (a *Array) Equal(o Type) bool {
+	oa, ok := o.(*Array)
+	if !ok || a.Fixed != oa.Fixed || !a.Elem.Equal(oa.Elem) {
+		return false
+	}
+	return !a.Fixed || a.Len == oa.Len
+}
+
+// Ref is the reference constructor "ref T". Target must be a tuple type:
+// only first-class objects can be referenced.
+type Ref struct {
+	Target *TupleType
+}
+
+// Kind implements Type.
+func (r *Ref) Kind() Kind { return KRef }
+
+// String implements Type.
+func (r *Ref) String() string { return "ref " + r.Target.Name }
+
+// Equal implements Type.
+func (r *Ref) Equal(o Type) bool {
+	or, ok := o.(*Ref)
+	return ok && or.Target.Name == r.Target.Name
+}
+
+// Mode is the value kind of an attribute or collection element: own
+// (default), ref, or own ref.
+type Mode int
+
+// The three EXTRA value kinds.
+const (
+	Own    Mode = iota // a value with no identity, embedded in its parent
+	RefTo              // a shared reference to an independent object
+	OwnRef             // a reference to an exclusively owned component
+)
+
+// String renders the mode as it appears in DDL ("" for own, which is the
+// default and normally left implicit).
+func (m Mode) String() string {
+	switch m {
+	case RefTo:
+		return "ref"
+	case OwnRef:
+		return "own ref"
+	default:
+		return "own"
+	}
+}
+
+// HasIdentity reports whether values of this mode are first-class objects
+// carrying OIDs.
+func (m Mode) HasIdentity() bool { return m != Own }
+
+// Component describes the element of a set or array, or the value of an
+// attribute: a type plus its own/ref/own-ref mode.
+type Component struct {
+	Mode Mode
+	Type Type
+}
+
+// String renders the component in DDL syntax, omitting the default "own"
+// except where required for clarity on tuple-typed elements.
+func (c Component) String() string {
+	if c.Mode == Own {
+		if _, isTuple := c.Type.(*TupleType); isTuple {
+			return "own " + c.Type.String()
+		}
+		return c.Type.String()
+	}
+	return c.Mode.String() + " " + c.Type.String()
+}
+
+// Equal reports mode and type equality.
+func (c Component) Equal(o Component) bool {
+	return c.Mode == o.Mode && c.Type.Equal(o.Type)
+}
+
+// Validate checks the EXTRA constraints on a component: ref and own ref
+// apply only to tuple types (only objects have identity).
+func (c Component) Validate() error {
+	if c.Mode != Own {
+		if _, ok := c.Type.(*TupleType); !ok {
+			return fmt.Errorf("%s requires a tuple (schema) type, got %s", c.Mode, c.Type)
+		}
+	}
+	return nil
+}
+
+// IsCollection reports whether t is a set or array type.
+func IsCollection(t Type) bool {
+	k := t.Kind()
+	return k == KSet || k == KArray
+}
+
+// ElemOf returns the element component of a set or array type and true,
+// or a zero Component and false for any other type.
+func ElemOf(t Type) (Component, bool) {
+	switch tt := t.(type) {
+	case *Set:
+		return tt.Elem, true
+	case *Array:
+		return tt.Elem, true
+	}
+	return Component{}, false
+}

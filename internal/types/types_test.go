@@ -1,0 +1,359 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func attr(name string, t Type) Attr {
+	return Attr{Name: name, Comp: Component{Mode: Own, Type: t}}
+}
+
+func refAttr(name string, t *TupleType) Attr {
+	return Attr{Name: name, Comp: Component{Mode: RefTo, Type: t}}
+}
+
+func TestBaseTypes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		str  string
+		kind Kind
+	}{
+		{Int1, "int1", KInt1},
+		{Int2, "int2", KInt2},
+		{Int4, "int4", KInt4},
+		{Float4, "float4", KFloat4},
+		{Float8, "float8", KFloat8},
+		{Boolean, "bool", KBool},
+		{Varchar, "varchar", KVarchar},
+		{Char(20), "char[20]", KChar},
+	}
+	for _, c := range cases {
+		if c.t.String() != c.str {
+			t.Errorf("%v String = %s, want %s", c.kind, c.t.String(), c.str)
+		}
+		if c.t.Kind() != c.kind {
+			t.Errorf("%s Kind = %v, want %v", c.str, c.t.Kind(), c.kind)
+		}
+		if !c.t.Equal(c.t) {
+			t.Errorf("%s not Equal to itself", c.str)
+		}
+	}
+	if Char(10).Equal(Char(20)) {
+		t.Error("char[10] equal to char[20]")
+	}
+	if Int4.Equal(Int2) {
+		t.Error("int4 equal to int2")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KInt1.IsNumeric() || !KFloat8.IsNumeric() || KBool.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if !KInt4.IsInteger() || KFloat4.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if !KChar.IsString() || !KVarchar.IsString() || KEnum.IsString() {
+		t.Error("IsString wrong")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	person := MustTupleType("Person", nil, []Attr{attr("name", Varchar)})
+	set := &Set{Elem: Component{Mode: OwnRef, Type: person}}
+	if set.String() != "{own ref Person}" {
+		t.Errorf("set String = %s", set.String())
+	}
+	arr := &Array{Elem: Component{Mode: RefTo, Type: person}, Len: 10, Fixed: true}
+	if arr.String() != "[10] ref Person" {
+		t.Errorf("array String = %s", arr.String())
+	}
+	va := &Array{Elem: Component{Mode: Own, Type: Int4}}
+	if va.String() != "[] int4" {
+		t.Errorf("vararray String = %s", va.String())
+	}
+	r := &Ref{Target: person}
+	if r.String() != "ref Person" {
+		t.Errorf("ref String = %s", r.String())
+	}
+	if !set.Equal(&Set{Elem: Component{Mode: OwnRef, Type: person}}) {
+		t.Error("equal sets differ")
+	}
+	if set.Equal(&Set{Elem: Component{Mode: Own, Type: person}}) {
+		t.Error("sets with different modes equal")
+	}
+	if arr.Equal(va) {
+		t.Error("fixed equal to variable array")
+	}
+}
+
+func TestComponentValidate(t *testing.T) {
+	person := MustTupleType("P2", nil, nil)
+	if err := (Component{Mode: RefTo, Type: person}).Validate(); err != nil {
+		t.Errorf("ref of tuple: %v", err)
+	}
+	if err := (Component{Mode: RefTo, Type: Int4}).Validate(); err == nil {
+		t.Error("ref of int4 accepted")
+	}
+	if err := (Component{Mode: OwnRef, Type: Varchar}).Validate(); err == nil {
+		t.Error("own ref of varchar accepted")
+	}
+	if err := (Component{Mode: Own, Type: Int4}).Validate(); err != nil {
+		t.Errorf("own int4: %v", err)
+	}
+}
+
+func TestInheritanceResolution(t *testing.T) {
+	person := MustTupleType("Person", nil, []Attr{
+		attr("name", Varchar), attr("age", Int4),
+	})
+	emp := MustTupleType("Employee", []Super{{Type: person}}, []Attr{
+		attr("salary", Int4),
+	})
+	if len(emp.Attrs()) != 3 {
+		t.Fatalf("Employee has %d attrs", len(emp.Attrs()))
+	}
+	if emp.AttrIndex("name") != 0 || emp.AttrIndex("salary") != 2 {
+		t.Error("attribute order wrong: inherited first, own last")
+	}
+	if emp.Origin("name") != "Person" || emp.Origin("salary") != "Employee" {
+		t.Error("attribute origins wrong")
+	}
+	if !emp.IsSubtypeOf(person) || person.IsSubtypeOf(emp) {
+		t.Error("subtyping wrong")
+	}
+	if !emp.IsSubtypeOf(emp) {
+		t.Error("subtyping not reflexive")
+	}
+}
+
+func TestDiamondInheritance(t *testing.T) {
+	person := MustTupleType("Person", nil, []Attr{attr("name", Varchar)})
+	emp := MustTupleType("Employee", []Super{{Type: person}}, []Attr{attr("salary", Int4)})
+	student := MustTupleType("Student", []Super{{Type: person}}, []Attr{attr("gpa", Float8)})
+	se, err := NewTupleType("StudentEmp", []Super{{Type: emp}, {Type: student}}, nil)
+	if err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+	// name arrives along both paths but from one origin: no conflict,
+	// and only one copy.
+	n := 0
+	for _, a := range se.Attrs() {
+		if a.Name == "name" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("name appears %d times", n)
+	}
+	if !se.IsSubtypeOf(person) {
+		t.Error("diamond loses ancestor")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	dept := MustTupleType("Dept", nil, []Attr{attr("x", Int4)})
+	school := MustTupleType("School", nil, []Attr{attr("y", Int4)})
+	emp := MustTupleType("Emp", nil, []Attr{refAttr("dept", dept)})
+	stu := MustTupleType("Stu", nil, []Attr{refAttr("dept", school)})
+	_, err := NewTupleType("Both", []Super{{Type: emp}, {Type: stu}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("conflict accepted: %v", err)
+	}
+	// Renaming resolves it.
+	both, err := NewTupleType("Both", []Super{
+		{Type: emp},
+		{Type: stu, Renames: []Rename{{Super: "Stu", Old: "dept", New: "sdept"}}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("rename rejected: %v", err)
+	}
+	if _, ok := both.Attr("sdept"); !ok {
+		t.Error("renamed attribute missing")
+	}
+	if both.Origin("sdept") != "Stu" {
+		t.Errorf("sdept origin = %s", both.Origin("sdept"))
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	p := MustTupleType("P", nil, []Attr{attr("a", Int4)})
+	_, err := NewTupleType("Q", []Super{
+		{Type: p, Renames: []Rename{{Super: "P", Old: "missing", New: "b"}}},
+	}, nil)
+	if err == nil {
+		t.Error("rename of missing attribute accepted")
+	}
+	_, err = NewTupleType("Q", []Super{
+		{Type: p, Renames: []Rename{
+			{Super: "P", Old: "a", New: "b"},
+			{Super: "P", Old: "a", New: "c"},
+		}},
+	}, nil)
+	if err == nil {
+		t.Error("double rename accepted")
+	}
+}
+
+func TestRedeclarationSpecialization(t *testing.T) {
+	base := MustTupleType("Base", nil, []Attr{attr("v", Int4)})
+	mid := MustTupleType("Mid", []Super{{Type: base}}, nil)
+	// Same type redeclaration is fine.
+	_, err := NewTupleType("Leaf", []Super{{Type: mid}}, []Attr{attr("v", Int4)})
+	if err != nil {
+		t.Errorf("compatible redeclaration rejected: %v", err)
+	}
+	// Incompatible redeclaration is a conflict.
+	_, err = NewTupleType("Leaf2", []Super{{Type: mid}}, []Attr{attr("v", Varchar)})
+	if err == nil {
+		t.Error("incompatible redeclaration accepted")
+	}
+	// Covariant specialization: ref to a subtype.
+	animal := MustTupleType("Animal", nil, nil)
+	dog := MustTupleType("Dog", []Super{{Type: animal}}, nil)
+	owner := MustTupleType("Owner", nil, []Attr{refAttr("pet", animal)})
+	_, err = NewTupleType("DogOwner", []Super{{Type: owner}}, []Attr{refAttr("pet", dog)})
+	if err != nil {
+		t.Errorf("covariant redeclaration rejected: %v", err)
+	}
+}
+
+func TestForwardCompletion(t *testing.T) {
+	f := NewForward("Node")
+	self := Attr{Name: "next", Comp: Component{Mode: RefTo, Type: f}}
+	if err := f.Complete(nil, []Attr{attr("v", Int4), self}); err != nil {
+		t.Fatalf("self-referential completion: %v", err)
+	}
+	if err := f.Complete(nil, nil); err == nil {
+		t.Error("double completion accepted")
+	}
+	a, ok := f.Attr("next")
+	if !ok || a.Comp.Type.(*TupleType) != f {
+		t.Error("self reference lost")
+	}
+}
+
+func TestAssignability(t *testing.T) {
+	person := MustTupleType("PersonA", nil, []Attr{attr("name", Varchar)})
+	emp := MustTupleType("EmployeeA", []Super{{Type: person}}, nil)
+	cases := []struct {
+		src, dst Type
+		want     bool
+	}{
+		{Int1, Int4, true},
+		{Int4, Int1, true}, // range-checked at runtime
+		{Int4, Float8, true},
+		{Float8, Varchar, false},
+		{Char(5), Varchar, true},
+		{Varchar, Char(9), true},
+		{emp, person, true},
+		{person, emp, false},
+		{&Ref{Target: emp}, &Ref{Target: person}, true},
+		{&Ref{Target: person}, &Ref{Target: emp}, false},
+		{&Set{Elem: Component{Mode: Own, Type: Int2}}, &Set{Elem: Component{Mode: Own, Type: Int4}}, true},
+		{&Set{Elem: Component{Mode: Own, Type: Int4}}, &Set{Elem: Component{Mode: RefTo, Type: person}}, false},
+		{&Array{Elem: Component{Mode: Own, Type: Int4}, Len: 3, Fixed: true},
+			&Array{Elem: Component{Mode: Own, Type: Int4}, Len: 3, Fixed: true}, true},
+		{&Array{Elem: Component{Mode: Own, Type: Int4}, Len: 3, Fixed: true},
+			&Array{Elem: Component{Mode: Own, Type: Int4}, Len: 4, Fixed: true}, false},
+		{&Array{Elem: Component{Mode: Own, Type: Int4}, Len: 3, Fixed: true},
+			&Array{Elem: Component{Mode: Own, Type: Int4}}, true},
+	}
+	for _, c := range cases {
+		if got := AssignableTo(c.src, c.dst); got != c.want {
+			t.Errorf("AssignableTo(%s, %s) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		a, b Type
+		want Kind
+	}{
+		{Int1, Int2, KInt2},
+		{Int4, Int4, KInt4},
+		{Int4, Float4, KFloat4},
+		{Float4, Float8, KFloat8},
+		{Int1, Float8, KFloat8},
+	}
+	for _, c := range cases {
+		got, err := Promote(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Promote(%s, %s): %v", c.a, c.b, err)
+		}
+		if got.Kind() != c.want {
+			t.Errorf("Promote(%s, %s) = %s", c.a, c.b, got)
+		}
+	}
+	if _, err := Promote(Int4, Varchar); err == nil {
+		t.Error("Promote of non-numeric accepted")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	e1 := &Enum{Name: "E1", Labels: []string{"a"}}
+	e2 := &Enum{Name: "E2", Labels: []string{"a"}}
+	if !Comparable(Int4, Float8) || !Comparable(Char(3), Varchar) {
+		t.Error("numeric/string comparability wrong")
+	}
+	if !Comparable(e1, e1) || Comparable(e1, e2) {
+		t.Error("enum comparability wrong")
+	}
+	person := MustTupleType("PersonC", nil, nil)
+	if Comparable(&Ref{Target: person}, &Ref{Target: person}) {
+		t.Error("refs must not be comparable (is/isnot only)")
+	}
+}
+
+func TestCommonSuper(t *testing.T) {
+	person := MustTupleType("PersonS", nil, nil)
+	emp := MustTupleType("EmployeeS", []Super{{Type: person}}, nil)
+	stu := MustTupleType("StudentS", []Super{{Type: person}}, nil)
+	cs, ok := CommonSuper(emp, stu)
+	if !ok || cs != person {
+		t.Errorf("CommonSuper(emp, stu) = %v", cs)
+	}
+	cs, ok = CommonSuper(emp, person)
+	if !ok || cs != person {
+		t.Error("CommonSuper with ancestor failed")
+	}
+	other := MustTupleType("OtherS", nil, nil)
+	if _, ok := CommonSuper(emp, other); ok {
+		t.Error("unrelated types have a common supertype")
+	}
+}
+
+func TestEnumOrdinal(t *testing.T) {
+	e := &Enum{Name: "Color", Labels: []string{"red", "green", "blue"}}
+	if e.Ordinal("green") != 1 || e.Ordinal("magenta") != -1 {
+		t.Error("Ordinal wrong")
+	}
+	if e.String() != "Color" || e.Kind() != KEnum {
+		t.Error("enum identity wrong")
+	}
+}
+
+func TestDDLRendering(t *testing.T) {
+	person := MustTupleType("PersonD", nil, []Attr{attr("name", Varchar)})
+	emp := MustTupleType("EmployeeD", []Super{
+		{Type: person, Renames: []Rename{{Super: "PersonD", Old: "name", New: "ename"}}},
+	}, []Attr{attr("salary", Int4)})
+	ddl := emp.DDL()
+	for _, want := range []string{"define type EmployeeD", "inherits PersonD", "name renamed ename", "salary: int4"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	a := MustTupleType("AncA", nil, nil)
+	b := MustTupleType("AncB", []Super{{Type: a}}, nil)
+	c := MustTupleType("AncC", []Super{{Type: b}}, nil)
+	anc := c.Ancestors()
+	if len(anc) != 3 || anc[0] != "AncA" || anc[2] != "AncC" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+}

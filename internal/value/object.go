@@ -1,0 +1,63 @@
+package value
+
+import (
+	"repro/internal/oid"
+	"repro/internal/types"
+)
+
+// Object is the runtime binding of a range variable over first-class
+// objects: the decoded tuple together with its identity. It never appears
+// inside stored data (storage holds Tuples and Refs); it exists so that
+// the executor can answer both value questions (E.name) and identity
+// questions (E is D.head, delete E) about one binding.
+type Object struct {
+	OID   oid.OID
+	Tuple *Tuple
+}
+
+// Kind implements Value.
+func (Object) Kind() types.Kind { return types.KTuple }
+
+// String implements Value.
+func (o Object) String() string {
+	if o.Tuple == nil {
+		return o.OID.String()
+	}
+	return o.Tuple.String()
+}
+
+// Ref returns the reference to this object.
+func (o Object) Ref() Ref {
+	name := ""
+	if o.Tuple != nil {
+		name = o.Tuple.Type.Name
+	}
+	return Ref{OID: o.OID, Type: name}
+}
+
+// AsTuple unwraps a value to its tuple content: Objects yield their
+// decoded tuple, Tuples pass through.
+func AsTuple(v Value) (*Tuple, bool) {
+	switch x := v.(type) {
+	case *Tuple:
+		return x, true
+	case Object:
+		return x.Tuple, true
+	}
+	return nil, false
+}
+
+// OIDOf extracts the identity of a value: an Object's OID or a Ref's
+// target. Values without identity report false.
+func OIDOf(v Value) (oid.OID, bool) {
+	switch x := v.(type) {
+	case Object:
+		return x.OID, true
+	case Ref:
+		if x.OID.IsNil() {
+			return oid.Nil, false
+		}
+		return x.OID, true
+	}
+	return oid.Nil, false
+}

@@ -1,0 +1,59 @@
+package workload
+
+import "testing"
+
+func TestLoadDeterministic(t *testing.T) {
+	p := Params{Departments: 4, Employees: 50, MaxKids: 3, Seed: 9}
+	db1, c1, err := New(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db1.Close()
+	db2, c2, err := New(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if len(c1.Emps) != 50 || len(c1.Depts) != 4 {
+		t.Fatalf("sizes: %d emps, %d depts", len(c1.Emps), len(c1.Depts))
+	}
+	_ = c2
+	q := `retrieve (s = sum(Employees.salary), k = count(Employees.kids))`
+	r1 := db1.MustQuery(q)
+	r2 := db2.MustQuery(q)
+	if r1.Rows[0][0].String() != r2.Rows[0][0].String() ||
+		r1.Rows[0][1].String() != r2.Rows[0][1].String() {
+		t.Fatalf("same seed produced different data: %v vs %v", r1, r2)
+	}
+	// Different seeds differ (with overwhelming probability).
+	db3, _, err := New(Params{Departments: 4, Employees: 50, MaxKids: 3, Seed: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	r3 := db3.MustQuery(q)
+	if r1.Rows[0][0].String() == r3.Rows[0][0].String() {
+		t.Error("different seeds produced identical totals")
+	}
+}
+
+func TestLoadInvariants(t *testing.T) {
+	db, _, err := New(Params{Departments: 3, Employees: 200, MaxKids: 2, Floors: 4, Seed: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Every employee has a live department on a valid floor.
+	res := db.MustQuery(`retrieve (n = count(E.name)) from E in Employees where E.dept is null`)
+	if res.Rows[0][0].String() != "0" {
+		t.Error("employees without departments")
+	}
+	res = db.MustQuery(`retrieve (n = count(E.name)) from E in Employees where E.dept.floor < 1 or E.dept.floor > 4`)
+	if res.Rows[0][0].String() != "0" {
+		t.Error("floors out of range")
+	}
+	res = db.MustQuery(`retrieve (n = count(K.name)) from K in Employees.kids where K.age < 1 or K.age > 17`)
+	if res.Rows[0][0].String() != "0" {
+		t.Error("kid ages out of range")
+	}
+}

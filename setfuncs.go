@@ -1,0 +1,46 @@
+package extra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// RegisterMedian installs the paper's flagship generic set function: a
+// median that works over any totally ordered element type (integers,
+// floats, strings, enums, ordered ADTs such as Date). The paper contrasts
+// this with POSTGRES, where a user-defined aggregate had to be written
+// per concrete type; here the constraint is checked per use site.
+//
+// For even-sized inputs the lower median is returned, keeping the result
+// within the element domain.
+func RegisterMedian(reg *adt.Registry) error {
+	return reg.RegisterSetFunc(&adt.SetFunc{
+		Name: "median",
+		Constraint: func(elem types.Type) bool {
+			return elem == nil || types.Comparable(elem, elem)
+		},
+		Result: func(elem types.Type) types.Type { return elem },
+		Impl: func(elems []value.Value) (value.Value, error) {
+			if len(elems) == 0 {
+				return value.Null{}, nil
+			}
+			sorted := append([]value.Value(nil), elems...)
+			var sortErr error
+			sort.SliceStable(sorted, func(i, j int) bool {
+				c, err := value.Compare(sorted[i], sorted[j])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				return c < 0
+			})
+			if sortErr != nil {
+				return nil, fmt.Errorf("median: %w", sortErr)
+			}
+			return sorted[(len(sorted)-1)/2], nil
+		},
+	})
+}

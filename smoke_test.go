@@ -1,0 +1,87 @@
+package extra
+
+import "testing"
+
+// TestSmoke drives the full stack end to end on a Figure-1-style schema.
+func TestSmoke(t *testing.T) {
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.MustExec(`
+		define type Dept: ( name: char[10], floor: int4 )
+		define type Person:
+		  ( name: varchar,
+		    age: int4,
+		    kids: { own ref Person } )
+		define type Employee inherits Person:
+		  ( salary: int4,
+		    dept: ref Dept )
+		create Depts : { own Dept }
+		create Employees : { own Employee }
+		create StarEmployee : ref Employee
+	`)
+
+	db.MustExec(`
+		append to Depts (name = "Toys", floor = 2)
+		append to Depts (name = "Shoes", floor = 1)
+	`)
+	db.MustExec(`
+		append to Employees (name = "Alice", age = 41, salary = 90)
+		append to Employees (name = "Bob", age = 33, salary = 50)
+	`)
+	// Wire refs: set each employee's dept.
+	db.MustExec(`
+		range of E is Employees
+		range of D is Depts
+		replace E (dept = D) where E.name = "Alice" and D.name = "Toys"
+		replace E (dept = D) where E.name = "Bob" and D.name = "Shoes"
+	`)
+
+	res := db.MustQuery(`retrieve (E.name, E.salary) from E in Employees where E.dept.floor = 2`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != `"Alice"` {
+		t.Fatalf("implicit join: got %v", res)
+	}
+
+	// Nested own-ref set: kids.
+	db.MustExec(`append to E.kids (name = "Carol", age = 7) from E in Employees where E.name = "Alice"`)
+	db.MustExec(`append to E.kids (name = "Dan", age = 9) from E in Employees where E.name = "Alice"`)
+
+	res = db.MustQuery(`retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("nested set query: got %v", res)
+	}
+
+	// Aggregates: count of kids per employee.
+	res = db.MustQuery(`retrieve (E.name, n = count(E.kids)) from E in Employees`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("count kids: got %v", res)
+	}
+
+	// Grouped aggregate.
+	res = db.MustQuery(`retrieve (f = E.dept.floor, avgsal = avg(E.salary by E.dept.floor)) from E in Employees`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("grouped avg: got %v", res)
+	}
+
+	// Singleton ref variable.
+	db.MustExec(`set StarEmployee = E from E in Employees where E.salary = 90`)
+	res = db.MustQuery(`retrieve (StarEmployee.name)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != `"Alice"` {
+		t.Fatalf("star employee: got %v", res)
+	}
+
+	// Deletion cascades: deleting Alice destroys her kids.
+	db.MustExec(`delete E from E in Employees where E.name = "Alice"`)
+	res = db.MustQuery(`retrieve (C.name) from C in Employees.kids`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("cascade delete: kids remain: %v", res)
+	}
+	// The star employee reference now dangles and reads as null.
+	res = db.MustQuery(`retrieve (E.name) from E in Employees where StarEmployee is null`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("dangling ref: got %v", res)
+	}
+}
