@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [script.xs ...]
+//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [-slow 1ms] [script.xs ...]
 //
 // With script arguments the files are executed in order and the shell
 // exits; otherwise an interactive prompt reads statements from stdin.
@@ -15,14 +15,18 @@
 //	\type NAME      show a type's definition
 //	\vars           list database variables
 //	\adts           list abstract data types
-//	\stats          buffer pool statistics
+//	\stats [json]   engine metrics and buffer pool statistics
 //	\explain QUERY  show the optimizer's plan for a retrieve
+//	\analyze [json] QUERY
+//	                execute a retrieve and show per-operator actuals
+//	\slow           list slow-query log entries
 //	\optimizer on|off
 //	\quit
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +39,7 @@ func main() {
 	file := flag.String("file", "", "back pages with this file instead of memory")
 	pool := flag.Int("pool", 256, "buffer pool size in pages")
 	load := flag.String("load", "", "replay a Dump snapshot before starting")
+	slow := flag.Duration("slow", 0, "slow-query log threshold for \\slow (0 = default 100ms)")
 	flag.Parse()
 
 	var opts []extra.Option
@@ -42,6 +47,9 @@ func main() {
 		opts = append(opts, extra.WithFileStore(*file))
 	}
 	opts = append(opts, extra.WithPoolSize(*pool))
+	if *slow > 0 {
+		opts = append(opts, extra.WithSlowQueryLog(*slow, 64))
+	}
 	db, err := extra.Open(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "excess:", err)
@@ -151,7 +159,7 @@ func meta(db *extra.DB, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`, `\h`:
-		fmt.Println(`\types \type NAME \vars \adts \stats \explain QUERY \optimizer on|off \quit`)
+		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \optimizer on|off \quit`)
 	case `\types`:
 		for _, n := range db.Catalog().TupleTypeNames() {
 			fmt.Println(" ", n)
@@ -189,10 +197,55 @@ func meta(db *extra.DB, cmd string) bool {
 		} else {
 			fmt.Print(out)
 		}
+	case `\analyze`:
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, `\analyze`))
+		asJSON := false
+		if rest, ok := strings.CutPrefix(q, "json "); ok {
+			asJSON, q = true, strings.TrimSpace(rest)
+		}
+		if q == "" {
+			fmt.Println("usage: \\analyze [json] retrieve (...)")
+			break
+		}
+		var out string
+		var err error
+		if asJSON {
+			out, err = db.ExplainAnalyzeJSON(q)
+		} else {
+			out, err = db.ExplainAnalyze(q)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println(strings.TrimRight(out, "\n"))
+		}
 	case `\stats`:
+		if len(fields) == 2 && fields[1] == "json" {
+			raw, err := json.MarshalIndent(db.MetricsSnapshot(), "", "  ")
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(string(raw))
+			}
+			break
+		}
 		st := db.PoolStats()
-		fmt.Printf("  pool: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
-			st.Hits, st.Misses, st.Evictions, st.HitRate()*100)
+		fmt.Printf("  pool: hits=%d misses=%d evictions=%d writebacks=%d hit-rate=%.1f%%\n",
+			st.Hits, st.Misses, st.Evictions, st.WriteBacks, st.HitRate()*100)
+		if err := db.MetricsSnapshot().WriteText(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
+	case `\slow`:
+		entries := db.SlowQueries()
+		if len(entries) == 0 {
+			fmt.Println("  slow-query log is empty")
+			break
+		}
+		for _, e := range entries {
+			fmt.Printf("  %s  total=%v rows=%d (parse=%v check=%v plan=%v execute=%v)\n",
+				strings.Join(strings.Fields(e.Src), " "), e.Total, e.Rows,
+				e.Parse, e.Check, e.Plan, e.Execute)
+		}
 	case `\optimizer`:
 		if len(fields) == 2 && fields[1] == "off" {
 			db.SetOptimizer(extra.OptimizerOptions{NoPushdown: true, NoIndexSelect: true, NoReorder: true})

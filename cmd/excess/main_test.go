@@ -33,7 +33,10 @@ func TestMetaCommands(t *testing.T) {
 	// All meta commands run without touching stdin; \quit returns false.
 	for _, cmd := range []string{
 		`\help`, `\types`, `\type Person`, `\type NoSuch`, `\vars`, `\adts`,
-		`\stats`, `\optimizer off`, `\optimizer on`, `\explain retrieve (1)`,
+		`\stats`, `\stats json`, `\optimizer off`, `\optimizer on`, `\explain retrieve (1)`,
+		`\analyze retrieve (P.name) from P in People`,
+		`\analyze json retrieve (P.name) from P in People`,
+		`\analyze`, `\slow`,
 		`\explain`, `\type`, `\bogus`,
 	} {
 		if !meta(db, cmd) {

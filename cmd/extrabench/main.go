@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,35 @@ import (
 )
 
 var reps = flag.Int("reps", 20, "timing repetitions per measurement")
+
+var statsMode = flag.String("stats", "",
+	`dump the metrics registry of each experiment's last database after its phase: "text" or "json"`)
+
+// lastDB tracks the most recently opened database so -stats can dump
+// its registry when the experiment finishes (counters stay readable
+// after Close).
+var lastDB *extra.DB
+
+func track(db *extra.DB) *extra.DB {
+	lastDB = db
+	return db
+}
+
+func dumpStats(db *extra.DB) {
+	switch *statsMode {
+	case "json":
+		raw, err := json.MarshalIndent(db.MetricsSnapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stats:", err)
+			return
+		}
+		fmt.Println(string(raw))
+	default:
+		if err := db.MetricsSnapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "stats:", err)
+		}
+	}
+}
 
 type experiment struct {
 	id    string
@@ -66,6 +96,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		if *statsMode != "" && lastDB != nil {
+			fmt.Printf("-- %s metrics\n", e.id)
+			dumpStats(lastDB)
+			lastDB = nil
+		}
 		fmt.Println()
 	}
 }
@@ -75,7 +110,16 @@ func open() *extra.DB {
 	if err != nil {
 		panic(err)
 	}
-	return db
+	return track(db)
+}
+
+// openW opens a generated workload database, tracked for -stats.
+func openW(p workload.Params, pool int) (*extra.DB, error) {
+	db, _, err := workload.New(p, pool)
+	if err != nil {
+		return nil, err
+	}
+	return track(db), nil
 }
 
 // show runs a query and prints it with its result table.
@@ -276,7 +320,7 @@ func figure7() error {
 // Benchmarks
 
 func b1() error {
-	db, _, err := workload.New(workload.Params{Departments: 20, Employees: 2000, Seed: 1}, 8192)
+	db, err := openW(workload.Params{Departments: 20, Employees: 2000, Seed: 1}, 8192)
 	if err != nil {
 		return err
 	}
@@ -296,7 +340,7 @@ func b1() error {
 }
 
 func b2() error {
-	db, _, err := workload.New(workload.Params{Departments: 10, Employees: 500, MaxKids: 4, Seed: 2}, 8192)
+	db, err := openW(workload.Params{Departments: 10, Employees: 500, MaxKids: 4, Seed: 2}, 8192)
 	if err != nil {
 		return err
 	}
@@ -321,7 +365,7 @@ func b2() error {
 }
 
 func b3() error {
-	db, _, err := workload.New(workload.Params{Departments: 10, Employees: 5000, MaxSalary: 100000, Seed: 3}, 16384)
+	db, err := openW(workload.Params{Departments: 10, Employees: 5000, MaxSalary: 100000, Seed: 3}, 16384)
 	if err != nil {
 		return err
 	}
@@ -348,7 +392,7 @@ func b3() error {
 }
 
 func b4() error {
-	db, _, err := workload.New(workload.Params{Departments: 50, Employees: 2000, MaxSalary: 100000, Seed: 4}, 8192)
+	db, err := openW(workload.Params{Departments: 50, Employees: 2000, MaxSalary: 100000, Seed: 4}, 8192)
 	if err != nil {
 		return err
 	}
@@ -440,7 +484,7 @@ func b6() error {
 }
 
 func b7() error {
-	db, _, err := workload.New(workload.Params{Departments: 20, Employees: 2000, Seed: 7}, 8192)
+	db, err := openW(workload.Params{Departments: 20, Employees: 2000, Seed: 7}, 8192)
 	if err != nil {
 		return err
 	}
@@ -461,7 +505,7 @@ func b7() error {
 }
 
 func b8() error {
-	db, _, err := workload.New(workload.Params{Departments: 5, Employees: 200, MaxKids: 8, Seed: 8}, 16384)
+	db, err := openW(workload.Params{Departments: 5, Employees: 200, MaxKids: 8, Seed: 8}, 16384)
 	if err != nil {
 		return err
 	}
@@ -531,6 +575,7 @@ func b10() error {
 			if err != nil {
 				return err
 			}
+			track(db)
 			if _, err := workload.Load(db, workload.Params{Departments: 10, Employees: 8000, MaxKids: 2, Seed: 10}); err != nil {
 				db.Close()
 				return err

@@ -1,11 +1,23 @@
 package extra
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/algebra"
 	"repro/internal/excess/ast"
 	"repro/internal/excess/parse"
 )
+
+// ErrNotRetrieve reports that a statement given to a retrieve-only
+// entry point (Query, Explain, ExplainAnalyze) is not a retrieve.
+var ErrNotRetrieve = errors.New("not a retrieve statement")
+
+// ExplainOutput re-exports the machine-readable EXPLAIN ANALYZE
+// document (see DB.ExplainAnalyzeJSON for the serialized form).
+type ExplainOutput = algebra.AnalyzeReport
 
 // Explain type-checks and plans a retrieve statement and returns the
 // optimizer's plan as an indented text tree — which access method each
@@ -14,13 +26,16 @@ import (
 func (db *DB) Explain(src string) (string, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return "", errDBClosed
+	}
 	st, err := parse.One(src, db.reg)
 	if err != nil {
 		return "", err
 	}
 	r, ok := st.(*ast.Retrieve)
 	if !ok {
-		return "", fmt.Errorf("Explain requires a retrieve statement")
+		return "", fmt.Errorf("explain: %w", ErrNotRetrieve)
 	}
 	cq, err := db.checker(nil).CheckRetrieve(r)
 	if err != nil {
@@ -28,4 +43,97 @@ func (db *DB) Explain(src string) (string, error) {
 	}
 	plan := db.exec.Plan(cq.Query)
 	return plan.Explain(), nil
+}
+
+// ExplainAnalyze executes a retrieve with per-operator instrumentation
+// and renders the plan tree annotated with actuals: rows in/out, loops,
+// self time and buffer-pool hits/misses per operator, plus residual
+// filter, quantification, aggregation and phase-timing totals. Unlike
+// Explain, the query (including any into clause) really runs.
+func (db *DB) ExplainAnalyze(src string) (string, error) {
+	plan, sum, err := db.analyze(src)
+	if err != nil {
+		return "", err
+	}
+	return plan.ExplainAnalyze(sum), nil
+}
+
+// ExplainAnalyzeReport is ExplainAnalyze returning the structured
+// document instead of rendered text.
+func (db *DB) ExplainAnalyzeReport(src string) (*ExplainOutput, error) {
+	plan, sum, err := db.analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Report(sum), nil
+}
+
+// ExplainAnalyzeJSON is ExplainAnalyze with machine-readable JSON
+// output.
+func (db *DB) ExplainAnalyzeJSON(src string) (string, error) {
+	rep, err := db.ExplainAnalyzeReport(src)
+	if err != nil {
+		return "", err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// analyze parses, checks, plans and executes one retrieve with runtime
+// collection enabled, returning the instrumented plan and the
+// statement-level summary.
+func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var sum algebra.AnalyzeSummary
+	if db.closed {
+		return nil, sum, errDBClosed
+	}
+	t0 := time.Now()
+	st, err := parse.One(src, db.reg)
+	sum.Parse = time.Since(t0)
+	if err != nil {
+		return nil, sum, err
+	}
+	r, ok := st.(*ast.Retrieve)
+	if !ok {
+		return nil, sum, fmt.Errorf("explain analyze: %w", ErrNotRetrieve)
+	}
+	t0 = time.Now()
+	cq, err := db.checker(nil).CheckRetrieve(r)
+	sum.Check = time.Since(t0)
+	if err != nil {
+		return nil, sum, err
+	}
+	texprs := targetExprs(cq)
+	if err := db.authQuery(cq.Query, nil, texprs...); err != nil {
+		return nil, sum, err
+	}
+	t0 = time.Now()
+	plan := db.exec.Plan(cq.Query)
+	sum.Plan = time.Since(t0)
+	plan.EnableRuntime()
+	poolBase := db.pool.Stats()
+	t0 = time.Now()
+	res, err := db.exec.RetrievePlan(cq, plan)
+	sum.Execute = time.Since(t0)
+	if err != nil {
+		return nil, sum, err
+	}
+	poolCur := db.pool.Stats()
+	sum.PoolHits = poolCur.Hits - poolBase.Hits
+	sum.PoolMisses = poolCur.Misses - poolBase.Misses
+	sum.Rows = len(res.Rows)
+	sum.Aggregated = cq.Aggregated
+	if cq.Aggregated {
+		sum.Groups = len(res.Rows)
+	}
+	if cq.Into != "" {
+		db.auth.SetOwner(cq.Into, db.user)
+	}
+	db.metrics.Counter("stmt.analyze").Inc()
+	return plan, sum, nil
 }

@@ -25,8 +25,10 @@
 package extra
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/algebra"
@@ -36,11 +38,15 @@ import (
 	"repro/internal/excess/parse"
 	"repro/internal/excess/sema"
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/value"
 )
+
+// errDBClosed reports use of a closed database.
+var errDBClosed = errors.New("database is closed")
 
 // Result re-exports the executor's result set.
 type Result = exec.Result
@@ -54,6 +60,13 @@ type OptimizerOptions = algebra.Options
 
 // PoolStats re-exports buffer pool counters.
 type PoolStats = storage.PoolStats
+
+// Metrics re-exports the engine metrics registry (counters, gauges,
+// latency histograms). See DB.Metrics.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot re-exports a point-in-time copy of the registry.
+type MetricsSnapshot = metrics.Snapshot
 
 // DB is an EXTRA/EXCESS database: catalog, object store, buffer pool,
 // session state and executor. Statements are serialized by an internal
@@ -69,14 +82,29 @@ type DB struct {
 	auth    *authz.Authorizer
 	user    string
 	closed  bool
+
+	metrics *metrics.Registry
+	// Pre-resolved hot-path metric handles (one atomic add each, no
+	// registry lookup on the statement path).
+	hParse, hCheck, hPlan, hExecute, hStmt *metrics.Histogram
+	cRows, cErrors                         *metrics.Counter
+
+	// Slow-query log: a ring buffer of the last slowCap statements that
+	// exceeded slowThreshold. Guarded by mu.
+	slowThreshold time.Duration
+	slowCap       int
+	slow          []SlowQuery
+	slowNext      int
 }
 
 // Option configures Open.
 type Option func(*config)
 
 type config struct {
-	poolPages int
-	filePath  string
+	poolPages     int
+	filePath      string
+	slowThreshold time.Duration
+	slowCap       int
 }
 
 // WithPoolSize sets the buffer pool capacity in pages (default 256).
@@ -89,12 +117,26 @@ func WithFileStore(path string) Option {
 	return func(c *config) { c.filePath = path }
 }
 
+// WithSlowQueryLog configures the slow-query log: statements slower
+// than threshold are kept in a ring buffer of the last capacity
+// entries, retrievable via SlowQueries. A threshold of 0 disables
+// logging. The default is 100ms with capacity 32.
+func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
+	return func(c *config) {
+		c.slowThreshold = threshold
+		c.slowCap = capacity
+	}
+}
+
 // Open creates a database. The ADT registry comes preloaded with the
 // built-in Date and Complex types of the paper's figures.
 func Open(opts ...Option) (*DB, error) {
-	cfg := config{poolPages: 256}
+	cfg := config{poolPages: 256, slowThreshold: 100 * time.Millisecond, slowCap: 32}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.slowCap < 1 {
+		cfg.slowCap = 1
 	}
 	var ps storage.PageStore
 	if cfg.filePath != "" {
@@ -111,6 +153,7 @@ func Open(opts ...Option) (*DB, error) {
 	pool := storage.NewBufferPool(ps, cfg.poolPages)
 	store := object.New(pool, cat)
 	session := sema.NewSession()
+	mreg := metrics.NewRegistry()
 	db := &DB{
 		reg:     reg,
 		cat:     cat,
@@ -120,6 +163,18 @@ func Open(opts ...Option) (*DB, error) {
 		exec:    exec.New(store, cat, session),
 		auth:    authz.New(),
 		user:    "dba",
+
+		metrics:  mreg,
+		hParse:   mreg.Histogram("phase.parse"),
+		hCheck:   mreg.Histogram("phase.check"),
+		hPlan:    mreg.Histogram("phase.plan"),
+		hExecute: mreg.Histogram("phase.execute"),
+		hStmt:    mreg.Histogram("stmt.latency"),
+		cRows:    mreg.Counter("rows.returned"),
+		cErrors:  mreg.Counter("stmt.errors"),
+
+		slowThreshold: cfg.slowThreshold,
+		slowCap:       cfg.slowCap,
 	}
 	return db, nil
 }
@@ -160,28 +215,124 @@ func (db *DB) PoolStats() PoolStats { return db.pool.Stats() }
 // ResetPoolStats zeroes buffer pool counters.
 func (db *DB) ResetPoolStats() { db.pool.ResetStats() }
 
+// Metrics exposes the engine metrics registry: statement counters by
+// kind, parse/check/plan/execute phase latency histograms, rows
+// returned and error counts. The registry is safe for concurrent
+// reads while statements execute.
+func (db *DB) Metrics() *Metrics { return db.metrics }
+
+// MetricsSnapshot copies the registry and merges in the buffer pool
+// counters (pool.hits, pool.misses, pool.evictions, pool.flushes,
+// pool.writebacks), giving one coherent observability document.
+func (db *DB) MetricsSnapshot() MetricsSnapshot {
+	s := db.metrics.Snapshot()
+	ps := db.pool.Stats()
+	s.Counters["pool.hits"] = ps.Hits
+	s.Counters["pool.misses"] = ps.Misses
+	s.Counters["pool.evictions"] = ps.Evictions
+	s.Counters["pool.flushes"] = ps.Flushes
+	s.Counters["pool.writebacks"] = ps.WriteBacks
+	return s
+}
+
+// SlowQuery is one slow-query log entry: the statement source with its
+// phase breakdown and result size.
+type SlowQuery struct {
+	Src     string        `json:"src"`
+	When    time.Time     `json:"when"`
+	Total   time.Duration `json:"total_ns"`
+	Parse   time.Duration `json:"parse_ns"`
+	Check   time.Duration `json:"check_ns"`
+	Plan    time.Duration `json:"plan_ns"`
+	Execute time.Duration `json:"execute_ns"`
+	Rows    int           `json:"rows"`
+}
+
+// SlowQueries returns the retained slow statements, oldest first.
+func (db *DB) SlowQueries() []SlowQuery {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]SlowQuery, 0, len(db.slow))
+	if len(db.slow) == db.slowCap {
+		out = append(out, db.slow[db.slowNext:]...)
+		out = append(out, db.slow[:db.slowNext]...)
+		return out
+	}
+	return append(out, db.slow...)
+}
+
+// SetSlowQueryThreshold adjusts the slow-query threshold at run time;
+// 0 disables logging.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.slowThreshold = d
+}
+
+// stmtTrace accumulates phase durations and result size across the
+// statements of one Exec/Query call.
+type stmtTrace struct {
+	check, plan, execute time.Duration
+	rows                 int
+}
+
+// finishTrace records one finished Exec/Query call into the registry
+// and, when over threshold, the slow-query log. Caller holds db.mu.
+func (db *DB) finishTrace(src string, parse time.Duration, tr *stmtTrace, start time.Time) {
+	total := time.Since(start)
+	db.hParse.Observe(parse)
+	db.hCheck.Observe(tr.check)
+	db.hPlan.Observe(tr.plan)
+	db.hExecute.Observe(tr.execute)
+	db.hStmt.Observe(total)
+	db.cRows.Add(uint64(tr.rows))
+	if db.slowThreshold > 0 && total >= db.slowThreshold {
+		entry := SlowQuery{
+			Src: src, When: time.Now(), Total: total,
+			Parse: parse, Check: tr.check, Plan: tr.plan, Execute: tr.execute,
+			Rows: tr.rows,
+		}
+		if len(db.slow) < db.slowCap {
+			db.slow = append(db.slow, entry)
+			db.slowNext = len(db.slow) % db.slowCap
+		} else {
+			db.slow[db.slowNext] = entry
+			db.slowNext = (db.slowNext + 1) % db.slowCap
+		}
+	}
+}
+
 // Exec parses and runs one or more EXCESS statements, returning the
 // result of the last retrieve (nil if none).
 func (db *DB) Exec(src string) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return nil, fmt.Errorf("database is closed")
+		return nil, errDBClosed
 	}
+	start := time.Now()
 	stmts, err := parse.Statements(src, db.reg)
+	parseDur := time.Since(start)
 	if err != nil {
+		db.cErrors.Inc()
 		return nil, err
 	}
+	var tr stmtTrace
 	var last *Result
 	for _, st := range stmts {
-		r, err := db.runStmt(st, nil)
+		r, err := db.runStmt(st, nil, &tr)
 		if err != nil {
+			db.cErrors.Inc()
 			return nil, err
 		}
 		if r != nil {
 			last = r
 		}
 	}
+	if last != nil {
+		tr.rows = len(last.Rows)
+	}
+	db.finishTrace(src, parseDur, &tr, start)
 	return last, nil
 }
 
@@ -191,17 +342,31 @@ func (db *DB) Query(src string) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return nil, fmt.Errorf("database is closed")
+		return nil, errDBClosed
 	}
+	start := time.Now()
 	st, err := parse.One(src, db.reg)
+	parseDur := time.Since(start)
 	if err != nil {
+		db.cErrors.Inc()
 		return nil, err
 	}
 	r, ok := st.(*ast.Retrieve)
 	if !ok {
-		return nil, fmt.Errorf("Query requires a retrieve statement; use Exec for updates and DDL")
+		db.cErrors.Inc()
+		return nil, fmt.Errorf("query: %w (use Exec for updates and DDL)", ErrNotRetrieve)
 	}
-	return db.runStmt(r, nil)
+	var tr stmtTrace
+	res, err := db.runStmt(r, nil, &tr)
+	if err != nil {
+		db.cErrors.Inc()
+		return nil, err
+	}
+	if res != nil {
+		tr.rows = len(res.Rows)
+	}
+	db.finishTrace(src, parseDur, &tr, start)
+	return res, nil
 }
 
 // MustExec runs statements and panics on error; for examples and tests.
@@ -223,8 +388,19 @@ func (db *DB) MustQuery(src string) *Result {
 }
 
 // runStmt dispatches one statement. params provides the parameter scope
-// when executing procedure bodies. Callers hold db.mu.
-func (db *DB) runStmt(st ast.Statement, params *paramScope) (*Result, error) {
+// when executing procedure bodies; tr (optional) accumulates phase
+// durations for the statement-level trace. Callers hold db.mu.
+func (db *DB) runStmt(st ast.Statement, params *paramScope, tr *stmtTrace) (*Result, error) {
+	db.metrics.Counter("stmt." + stmtKind(st)).Inc()
+	if tr != nil {
+		// Non-retrieve statements do not split phases; their whole cost
+		// lands in the execute phase. Retrieves are timed per phase in
+		// their case below.
+		if _, isRet := st.(*ast.Retrieve); !isRet {
+			t0 := time.Now()
+			defer func() { tr.execute += time.Since(t0) }()
+		}
+	}
 	switch s := st.(type) {
 	case *ast.DefineType:
 		_, err := db.cat.DefineTupleFromAST(s)
@@ -292,20 +468,29 @@ func (db *DB) runStmt(st ast.Statement, params *paramScope) (*Result, error) {
 		return nil, db.auth.Revoke(db.user, s.Priv, s.On, s.From)
 	case *ast.Retrieve:
 		ck := db.checker(params)
+		t0 := time.Now()
 		cq, err := ck.CheckRetrieve(s)
+		if tr != nil {
+			tr.check += time.Since(t0)
+		}
 		if err != nil {
 			return nil, err
 		}
-		var texprs []sema.Expr
-		for _, tc := range cq.Targets {
-			texprs = append(texprs, tc.Expr)
-		}
-		if err := db.authQuery(cq.Query, nil, texprs...); err != nil {
+		if err := db.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
 			return nil, err
 		}
+		t0 = time.Now()
+		plan := db.exec.Plan(cq.Query)
+		if tr != nil {
+			tr.plan += time.Since(t0)
+		}
+		t0 = time.Now()
 		res, err := db.withParams(params, func() (*Result, error) {
-			return db.exec.Retrieve(cq)
+			return db.exec.RetrievePlan(cq, plan)
 		})
+		if tr != nil {
+			tr.execute += time.Since(t0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -365,6 +550,47 @@ func (db *DB) runStmt(st ast.Statement, params *paramScope) (*Result, error) {
 		return nil, db.runExecute(s, params)
 	}
 	return nil, fmt.Errorf("unhandled statement %T", st)
+}
+
+// stmtKind names a statement for the per-kind metric counters
+// (stmt.retrieve, stmt.append, ...).
+func stmtKind(st ast.Statement) string {
+	switch st.(type) {
+	case *ast.Retrieve:
+		return "retrieve"
+	case *ast.Append:
+		return "append"
+	case *ast.Delete:
+		return "delete"
+	case *ast.Replace:
+		return "replace"
+	case *ast.SetStmt:
+		return "set"
+	case *ast.Execute:
+		return "execute"
+	case *ast.DefineType, *ast.DefineEnum, *ast.DefineFunction,
+		*ast.DefineProcedure, *ast.DefineIndex:
+		return "define"
+	case *ast.Create:
+		return "create"
+	case *ast.Drop:
+		return "drop"
+	case *ast.RangeDecl:
+		return "range"
+	case *ast.Grant, *ast.Revoke:
+		return "grant"
+	}
+	return "other"
+}
+
+// targetExprs collects the bound target expressions of a retrieve (for
+// authorization walks).
+func targetExprs(cq *sema.CheckedRetrieve) []sema.Expr {
+	texprs := make([]sema.Expr, len(cq.Targets))
+	for i, tc := range cq.Targets {
+		texprs[i] = tc.Expr
+	}
+	return texprs
 }
 
 // paramScope carries the parameter names/types/values of an executing
@@ -430,7 +656,9 @@ func (db *DB) runExecute(s *ast.Execute, params *paramScope) error {
 		return db.exec.Execute(ce, func(frame map[string]value.Value) error {
 			scope := &paramScope{types: ptypes, values: frame}
 			for _, bodyStmt := range ce.Proc.Body {
-				if _, err := db.runStmt(bodyStmt, scope); err != nil {
+				// Body statements run untraced: their cost is already
+				// inside the invoking execute's span.
+				if _, err := db.runStmt(bodyStmt, scope, nil); err != nil {
 					return fmt.Errorf("procedure %s: %w", ce.Proc.Name, err)
 				}
 			}

@@ -47,6 +47,9 @@ type Plan struct {
 	// survives only if they hold for every combination of universal
 	// bindings.
 	ForAll []sema.Expr
+	// Runtime, when non-nil, makes the executor record per-operator
+	// actuals into it (EXPLAIN ANALYZE). Set via EnableRuntime.
+	Runtime *PlanRuntime
 }
 
 // Stats estimates extent cardinalities for join ordering. The object

@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -116,10 +117,16 @@ type evalCtx struct {
 
 // Run enumerates the bindings of a plan, applying node filters, the
 // residual filter and universal quantification, and yields each
-// surviving binding.
+// surviving binding. When the plan carries a Runtime accumulator
+// (EXPLAIN ANALYZE), per-operator actuals are recorded as a side
+// effect; uninstrumented plans take the untraced path.
 func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
 	b := newBinding()
+	rt := p.Runtime
 	return ex.runNode(p, 0, b, func(bb *binding) error {
+		if rt != nil {
+			rt.FinalIn++
+		}
 		ok, err := ex.passAll(bb, p.Final)
 		if err != nil {
 			return err
@@ -127,12 +134,20 @@ func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
 		if !ok {
 			return nil
 		}
+		if rt != nil {
+			rt.FinalOut++
+			rt.ForAllChecked++
+		}
 		ok, err = ex.forAllHolds(bb, p.Universal, p.ForAll)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			return nil
+		}
+		if rt != nil {
+			rt.ForAllPassed++
+			rt.Output++
 		}
 		return yield(bb)
 	})
@@ -158,6 +173,9 @@ func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, yield func(*bind
 	if i >= len(p.Nodes) {
 		return yield(b)
 	}
+	if p.Runtime != nil {
+		return ex.runNodeTraced(p, i, b, yield)
+	}
 	n := &p.Nodes[i]
 	emit := func(v value.Value, pr prov) error {
 		b.vals[n.Var] = v
@@ -171,6 +189,46 @@ func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, yield func(*bind
 		return err
 	}
 	return ex.enumerate(b, n, emit)
+}
+
+// runNodeTraced is runNode with actuals collection: loops, rows in/out,
+// self time (child time subtracted) and buffer-pool traffic attributed
+// to this node's fetches and filter evaluation.
+func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, yield func(*binding) error) error {
+	n := &p.Nodes[i]
+	rt := &p.Runtime.Nodes[i]
+	rt.Loops++
+	pool := ex.store.Pool()
+	base := pool.Stats()
+	start := time.Now()
+	var child time.Duration
+	account := func() {
+		cur := pool.Stats()
+		rt.PoolHits += cur.Hits - base.Hits
+		rt.PoolMisses += cur.Misses - base.Misses
+		base = cur
+	}
+	emit := func(v value.Value, pr prov) error {
+		rt.RowsIn++
+		b.vals[n.Var] = v
+		b.prov[n.Var] = pr
+		ok, err := ex.passAll(b, n.Filter)
+		if err == nil && ok {
+			rt.RowsOut++
+			account() // pool traffic so far is this node's fetch/filter work
+			t0 := time.Now()
+			err = ex.runNode(p, i+1, b, yield)
+			child += time.Since(t0)
+			base = pool.Stats() // children's traffic is theirs
+		}
+		delete(b.vals, n.Var)
+		delete(b.prov, n.Var)
+		return err
+	}
+	err := ex.enumerate(b, n, emit)
+	account()
+	rt.Time += time.Since(start) - child
+	return err
 }
 
 // enumerate produces the bindings of one variable.

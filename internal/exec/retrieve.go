@@ -78,11 +78,17 @@ func displayValue(v value.Value) string {
 // statement has an into clause, the result is also materialized as a new
 // database variable.
 func (ex *Executor) Retrieve(cq *sema.CheckedRetrieve) (*Result, error) {
+	return ex.RetrievePlan(cq, ex.Plan(cq.Query))
+}
+
+// RetrievePlan runs a checked retrieve through an already-built plan —
+// the database layer uses it to time planning and execution separately
+// and to execute instrumented (EXPLAIN ANALYZE) plans.
+func (ex *Executor) RetrievePlan(cq *sema.CheckedRetrieve, plan *algebra.Plan) (*Result, error) {
 	res := &Result{}
 	for _, t := range cq.Targets {
 		res.Cols = append(res.Cols, t.Name)
 	}
-	plan := ex.Plan(cq.Query)
 	var err error
 	if cq.Aggregated {
 		err = ex.retrieveGrouped(cq, plan, res)

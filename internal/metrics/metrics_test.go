@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndex pins the log-scale bucketing at its edges: zero, the
+// exact power-of-two boundaries on both sides, and the overflow bucket.
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},                       // zero gets its own bucket
+		{1, 1},                       // smallest nonzero
+		{2, 2},                       // exact boundary: 2^1 opens bucket 2
+		{3, 2},                       // last value of bucket 2
+		{4, 3},                       // exact boundary: 2^2 opens bucket 3
+		{1023, 10},                   // below 2^10
+		{1024, 11},                   // exact boundary at 2^10
+		{1 << 46, NumBuckets - 1},    // first overflow value
+		{1<<46 + 1, NumBuckets - 1},  // inside overflow
+		{^uint64(0), NumBuckets - 1}, // max uint64 clamps to overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestBucketUpper checks the reported bounds agree with bucketIndex:
+// every value maps to a bucket whose upper bound is the least one
+// holding it.
+func TestBucketUpper(t *testing.T) {
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d", BucketUpper(0))
+	}
+	if BucketUpper(1) != 1 {
+		t.Errorf("BucketUpper(1) = %d", BucketUpper(1))
+	}
+	if BucketUpper(11) != 2047 {
+		t.Errorf("BucketUpper(11) = %d", BucketUpper(11))
+	}
+	if BucketUpper(NumBuckets-1) != ^uint64(0) {
+		t.Errorf("overflow bucket bound = %d", BucketUpper(NumBuckets-1))
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 1024, 1 << 20, 1 << 46} {
+		i := bucketIndex(v)
+		if v > BucketUpper(i) {
+			t.Errorf("value %d above its bucket %d bound %d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("value %d fits the previous bucket %d", v, i-1)
+		}
+	}
+}
+
+// TestHistogramObserve drives the edge cases through the public API:
+// 0ns, exact boundaries and an overflow observation.
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(time.Duration(1) << 50) // overflow bucket
+	if got := h.count.Load(); got != 5 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.sum.Load(); got != 3+1<<50 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.buckets[0].Load(); got != 2 {
+		t.Errorf("zero bucket = %d", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Errorf("bucket 1 = %d", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Errorf("bucket 2 = %d", got)
+	}
+	if got := h.buckets[NumBuckets-1].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d", got)
+	}
+	if got := h.max.Load(); got != 1<<50 {
+		t.Errorf("max = %d", got)
+	}
+}
+
+// TestConcurrentIncrements exercises counters, gauges and histograms
+// from many goroutines; run under -race this is the data-race check for
+// the whole atomic surface.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("stmt.total")
+			g := r.Gauge("level")
+			h := r.Histogram("latency")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("stmt.total").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("level").Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+	s := r.Snapshot()
+	h := s.Histograms["latency"]
+	if h.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, b := range h.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", bucketSum, h.Count)
+	}
+}
+
+// TestSnapshotQuantiles sanity-checks the bucket-bound quantile
+// estimate and the mean.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond) // 1000ns → bucket 10, bound 1023
+	}
+	h.Observe(time.Second)
+	s := r.Snapshot()
+	hs := s.Histograms["q"]
+	if p50 := hs.Quantile(0.50); p50 != 1023 {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 := hs.Quantile(0.99); p99 != 1023 {
+		t.Errorf("p99 = %v", p99)
+	}
+	if p100 := hs.Quantile(1.0); p100 < time.Second/2 {
+		t.Errorf("p100 = %v", p100)
+	}
+	if hs.Quantile(0) == 0 {
+		t.Errorf("p0 should land in the populated bucket")
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty histogram quantile/mean not zero")
+	}
+}
+
+// TestResetKeepsHandles verifies Reset zeroes values without
+// invalidating resolved handles.
+func TestResetKeepsHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(5)
+	h.Observe(time.Millisecond)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter not reset")
+	}
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Errorf("handle detached after reset")
+	}
+	if s := r.Snapshot(); s.Histograms["h"].Count != 0 {
+		t.Errorf("histogram not reset")
+	}
+}
+
+// TestWriteTextAndJSON checks the two serialization surfaces render
+// every metric and stay machine-parseable.
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stmt.retrieve").Add(3)
+	r.Gauge("pool.pages").Set(42)
+	r.Histogram("phase.execute").Observe(2 * time.Millisecond)
+	s := r.Snapshot()
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"stmt.retrieve", "pool.pages", "phase.execute", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["stmt.retrieve"] != 3 || back.Gauges["pool.pages"] != 42 {
+		t.Errorf("JSON round-trip lost values: %s", raw)
+	}
+	if back.Histograms["phase.execute"].Count != 1 {
+		t.Errorf("JSON round-trip lost histogram: %s", raw)
+	}
+}

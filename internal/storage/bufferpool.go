@@ -7,12 +7,19 @@ import (
 )
 
 // PoolStats reports buffer pool activity, used by the buffer-pool
-// benchmarks (experiment B10) and the executor's cost accounting.
+// benchmarks (experiment B10), the executor's cost accounting and
+// EXPLAIN ANALYZE's per-scan I/O attribution.
 type PoolStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Flushes   uint64
+	// Flushes counts every dirty page written back to the store,
+	// whatever the trigger (FlushAll or eviction).
+	Flushes uint64
+	// WriteBacks counts the subset of Flushes forced by evicting a
+	// dirty victim — the I/O-amplification signal: a working set
+	// larger than the pool turns reads into writes.
+	WriteBacks uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 when idle.
@@ -142,6 +149,7 @@ func (bp *BufferPool) newFrame(id PageID) (*frame, error) {
 				return nil, fmt.Errorf("evict page %d: %w", victim.id, err)
 			}
 			bp.stats.Flushes++
+			bp.stats.WriteBacks++
 		}
 		delete(bp.frames, victim.id)
 		bp.stats.Evictions++
