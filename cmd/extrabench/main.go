@@ -1,10 +1,10 @@
 // Command extrabench regenerates every experiment in EXPERIMENTS.md: the
 // functional reproductions of the paper's figures (F1–F7) and the
-// performance characterization of its design choices (B1–B10).
+// performance characterization of its design choices (B1–B11).
 //
 // Usage:
 //
-//	extrabench [-exp all|F1,...,B10] [-reps 20]
+//	extrabench [-exp all|F1,...,B11] [-reps 20]
 //
 // Each experiment prints the table rows recorded in EXPERIMENTS.md.
 package main
@@ -60,7 +60,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B10) or all")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B11) or all")
 	flag.Parse()
 
 	exps := []experiment{
@@ -81,6 +81,7 @@ func main() {
 		{"B8", "own copy vs ref share on append", b8},
 		{"B9", "inheritance depth vs query cost", b9},
 		{"B10", "buffer pool working-set cliff", b10},
+		{"B11", "join methods: hash vs nested, deref cache on vs off", b11},
 	}
 	want := map[string]bool{}
 	all := *expFlag == "all"
@@ -591,5 +592,83 @@ func b10() error {
 			db.Close()
 		}
 	}
+	return nil
+}
+
+// benchRecord is one line of BENCH_joins.json: the machine-readable
+// counterpart of the B11 table, consumed by CI trend tooling.
+type benchRecord struct {
+	Name string `json:"name"`
+	NsOp int64  `json:"ns_per_op"`
+	Rows int    `json:"rows"`
+}
+
+// timeQueryN is timeQuery with an explicit repetition count, for
+// measurements (the quadratic nested-loop baseline) where the global
+// -reps default would take minutes.
+func timeQueryN(db *extra.DB, q string, n int) (time.Duration, int, error) {
+	saved := *reps
+	*reps = n
+	defer func() { *reps = saved }()
+	return timeQuery(db, q)
+}
+
+// b11 contrasts the two join access methods (hash vs nested iteration)
+// and the deref cache (on vs off), then writes BENCH_joins.json so CI
+// can track the numbers without scraping the table. The nested-loop
+// baseline is quadratic, so it runs at a reduced scale and repetition
+// count; Go benchmarks in bench_test.go cover the larger scales.
+func b11() error {
+	row("benchmark", "median", "rows")
+	var recs []benchRecord
+	rec := func(name string, d time.Duration, rows int) {
+		row(name, d, rows)
+		recs = append(recs, benchRecord{Name: name, NsOp: d.Nanoseconds(), Rows: rows})
+	}
+
+	// Explicit equi-join: hash access path vs pure nested iteration.
+	const joinN = 1000
+	db, err := openW(workload.Params{Departments: joinN, Employees: joinN, Seed: 11}, 16384)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	joinQ := `retrieve (E.name, D.dname) from E in Employees, D in Departments where E.dept is D`
+	d, rows, err := timeQuery(db, joinQ)
+	if err != nil {
+		return err
+	}
+	rec("ExplicitJoinHash1k", d, rows)
+	db.SetOptimizer(extra.OptimizerOptions{NoHashJoin: true, NoDerefCache: true})
+	if d, rows, err = timeQueryN(db, joinQ, 3); err != nil {
+		return err
+	}
+	rec("ExplicitJoinNested1k", d, rows)
+
+	// Implicit-join ref chase: deref cache on vs off.
+	dbr, err := openW(workload.Params{Departments: 100, Employees: 10000, Floors: 5, Seed: 12}, 16384)
+	if err != nil {
+		return err
+	}
+	defer dbr.Close()
+	chaseQ := `retrieve (E.name) from E in Employees where E.dept.floor = 2`
+	if d, rows, err = timeQuery(dbr, chaseQ); err != nil {
+		return err
+	}
+	rec("RefChaseCached10k", d, rows)
+	dbr.SetOptimizer(extra.OptimizerOptions{NoDerefCache: true})
+	if d, rows, err = timeQuery(dbr, chaseQ); err != nil {
+		return err
+	}
+	rec("RefChaseUncached10k", d, rows)
+
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_joins.json", append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_joins.json")
 	return nil
 }

@@ -176,6 +176,7 @@ func Open(opts ...Option) (*DB, error) {
 		slowThreshold: cfg.slowThreshold,
 		slowCap:       cfg.slowCap,
 	}
+	db.exec.SetMetrics(mreg)
 	return db, nil
 }
 

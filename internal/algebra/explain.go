@@ -46,6 +46,15 @@ func describeNode(n *Node) string {
 	}
 	switch v.Kind {
 	case sema.VarExtent:
+		if n.Hash != nil {
+			src := "scan"
+			if n.Access != nil {
+				src = "index probe " + n.Access.Index.Name
+			}
+			return fmt.Sprintf("hash join %s [%s] (build %s via %s, probe %s) binding %s",
+				v.Extent, n.Hash.FromPred, ExprString(n.Hash.Build), src,
+				ExprString(n.Hash.Probe), name)
+		}
 		if n.Access != nil {
 			return fmt.Sprintf("index probe %s on %s [%s] binding %s",
 				n.Access.Index.Name, v.Extent, n.Access.FromPred, name)

@@ -13,7 +13,11 @@ func TestExplainRendering(t *testing.T) {
 	p := Build(f.cat, fakeStats{"Employees": 100, "Departments": 5}, cq.Query, Options{})
 	out := p.Explain()
 	for _, want := range []string{
-		"index probe emp_sal on Employees",
+		// The is-join upgrades the Employees node to a hash join whose
+		// build side feeds from the selected index probe.
+		"hash join Employees",
+		"via index probe emp_sal",
+		"probe D",
 		"scan Departments",
 		"unnest E.kids binding K",
 		"filter: (E.salary = 10)",
@@ -22,6 +26,12 @@ func TestExplainRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain missing %q:\n%s", want, out)
 		}
+	}
+
+	// With hash joins disabled the node reverts to the plain index probe.
+	p = Build(f.cat, fakeStats{"Employees": 100, "Departments": 5}, cq.Query, Options{NoHashJoin: true})
+	if out := p.Explain(); !strings.Contains(out, "index probe emp_sal on Employees") {
+		t.Errorf("explain missing index probe with NoHashJoin:\n%s", out)
 	}
 }
 

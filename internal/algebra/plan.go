@@ -30,10 +30,26 @@ type AccessPath struct {
 	FromPred string // display: the predicate that selected the index
 }
 
+// HashJoinPath selects the hash-join access method for an extent-scan
+// node: the inner extent is materialized once into a hash table keyed on
+// Build, and each outer binding probes it with Probe instead of
+// rescanning the extent. Build mentions only the node's own variable;
+// Probe mentions only variables bound by earlier nodes. The selecting
+// conjunct stays in the node's filter, so the probe is an
+// over-approximation (hash equality may be coarser than =) and is always
+// re-checked — the same safety argument as index selection.
+type HashJoinPath struct {
+	Build    sema.Expr // key over this node's variable (hash-table side)
+	Probe    sema.Expr // key over earlier-bound variables (probe side)
+	Ident    bool      // identity join (is): keys are object identities
+	FromPred string    // display: the conjunct that selected the method
+}
+
 // Node binds one range variable per input binding.
 type Node struct {
 	Var    *sema.Var
 	Access *AccessPath
+	Hash   *HashJoinPath
 	Filter []sema.Expr // conjuncts evaluable once Var is bound
 }
 
@@ -58,13 +74,29 @@ type Stats interface {
 	EstimateLen(extent string) int
 }
 
+// DefaultCardinality is the cardinality assumed for an extent when no
+// statistics are available (unknown extent, or no Stats provider). Plans
+// costed from it are guesses; the executor counts such misses under the
+// stats.misses metric so bad estimates are observable.
+const DefaultCardinality = 1000
+
+// hashProbeCost is the assumed per-outer-binding cost of probing a hash
+// table, in the same unit reorder uses for extent cardinalities (rows
+// touched). A probe-able extent is scanned once to build the table and
+// then costs O(1) per outer row, so reorder charges the amortized build
+// instead of the full rescan cardinality.
+const hashProbeCost = 8
+
 // Options control optimization; the zero value enables everything.
 // Disabling yields the naive plan (original variable order, no pushdown,
-// no index selection) used as the baseline in the optimizer benchmarks.
+// no index selection, nested-loop joins, uncached dereferencing) used as
+// the baseline in the optimizer benchmarks and differential tests.
 type Options struct {
 	NoPushdown    bool
 	NoIndexSelect bool
 	NoReorder     bool
+	NoHashJoin    bool // keep equi-joins as nested rescans
+	NoDerefCache  bool // re-fetch every reference dereference
 }
 
 // Build lowers a checked query to a plan under the given options.
@@ -92,7 +124,7 @@ func Build(cat *catalog.Catalog, stats Stats, q sema.Query, opt Options) *Plan {
 
 	order := exist
 	if !opt.NoReorder {
-		order = reorder(exist, stats)
+		order = reorder(exist, existConjs, stats, opt)
 	}
 	for _, v := range order {
 		p.Nodes = append(p.Nodes, Node{Var: v})
@@ -127,7 +159,85 @@ func Build(cat *catalog.Catalog, stats Stats, q sema.Query, opt Options) *Plan {
 			selectAccessPath(cat, &p.Nodes[i])
 		}
 	}
+	if !opt.NoHashJoin {
+		// Hash-join selection needs pushed-down filters: with pushdown off
+		// the join conjuncts all sit in Final and no node qualifies.
+		bound := map[*sema.Var]bool{}
+		for i := range p.Nodes {
+			selectHashJoin(&p.Nodes[i], bound)
+			bound[p.Nodes[i].Var] = true
+		}
+	}
 	return p
+}
+
+// selectHashJoin upgrades a nested rescan to a hash-table probe when one
+// of the node's own conjuncts is an equality (or identity) linking an
+// expression over this node's variable to an expression over variables
+// bound by earlier nodes — the access-method table entry for equi-joins.
+// The conjunct remains in the filter: hash lookup over-approximates
+// (encoded-key equality may be coarser than =), and re-checking keeps it
+// safe, exactly as with index probes.
+func selectHashJoin(n *Node, bound map[*sema.Var]bool) {
+	if n.Var.Kind != sema.VarExtent {
+		return // nested/path variables depend on the outer binding
+	}
+	for _, cj := range n.Filter {
+		build, probe, ident, ok := equiJoinKeys(cj, n.Var, bound)
+		if !ok {
+			continue
+		}
+		n.Hash = &HashJoinPath{Build: build, Probe: probe, Ident: ident, FromPred: ExprString(cj)}
+		return
+	}
+}
+
+// equiJoinKeys decomposes a conjunct into hash-join keys: it must be
+// "build = probe" or "build is probe" (either orientation) where build
+// mentions only v and probe mentions only already-bound variables.
+// Identity keys may be null on either side (a path like E.dept can
+// dangle, and "null is null" holds); the executor keeps null-identity
+// build rows in a separate list paired only with null-identity probes,
+// so the decomposition does not need to exclude them.
+func equiJoinKeys(cj sema.Expr, v *sema.Var, bound map[*sema.Var]bool) (build, probe sema.Expr, ident, ok bool) {
+	b, isBin := cj.(*sema.Binary)
+	if !isBin {
+		return nil, nil, false, false
+	}
+	switch {
+	case b.Class == sema.OpCompare && b.Op == "=":
+	case b.Class == sema.OpIdent && b.Op == "is":
+		ident = true
+	default:
+		return nil, nil, false, false
+	}
+	side := func(e sema.Expr) (own, outer bool) {
+		vs := varsOf(e)
+		if len(vs) == 0 {
+			return false, false // constant: index selection's territory
+		}
+		own, outer = true, true
+		for x := range vs {
+			if x != v {
+				own = false
+			}
+			if x == v || !bound[x] {
+				outer = false
+			}
+		}
+		return own, outer
+	}
+	lOwn, lOuter := side(b.L)
+	rOwn, rOuter := side(b.R)
+	switch {
+	case lOwn && rOuter:
+		build, probe = b.L, b.R
+	case rOwn && lOuter:
+		build, probe = b.R, b.L
+	default:
+		return nil, nil, false, false
+	}
+	return build, probe, ident, true
 }
 
 // splitConjuncts flattens a predicate into AND-ed conjuncts.
@@ -190,17 +300,34 @@ func earliestNode(e sema.Expr, nodes []Node, bound map[*sema.Var]bool) int {
 
 // reorder places extent variables cheapest-first while keeping nested
 // variables after their parents (a greedy cost-ordered topological sort —
-// the join-ordering rule).
-func reorder(vars []*sema.Var, stats Stats) []*sema.Var {
+// the join-ordering rule). When hash joins are enabled, an extent that an
+// equality conjunct links to an already-placed variable is charged the
+// amortized hash cost (one build scan spread over the outer loop, plus a
+// constant probe) instead of its full rescan cardinality, which pulls
+// equi-joined extents in right after their join partners.
+func reorder(vars []*sema.Var, conjs []sema.Expr, stats Stats, opt Options) []*sema.Var {
 	placed := map[*sema.Var]bool{}
 	var out []*sema.Var
 	cost := func(v *sema.Var) int {
 		switch v.Kind {
 		case sema.VarExtent:
+			n := DefaultCardinality
 			if stats != nil {
-				return stats.EstimateLen(v.Extent)
+				n = stats.EstimateLen(v.Extent)
 			}
-			return 1000
+			if !opt.NoHashJoin && !opt.NoPushdown {
+				for _, cj := range conjs {
+					if _, _, _, ok := equiJoinKeys(cj, v, placed); ok {
+						// Build once (amortized across outer bindings),
+						// probe per row.
+						if c := hashProbeCost + n/16; c < n {
+							n = c
+						}
+						break
+					}
+				}
+			}
+			return n
 		default:
 			return 1 // nested/db-path variables are cheap once parents bound
 		}

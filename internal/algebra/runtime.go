@@ -16,6 +16,11 @@ type NodeRuntime struct {
 	Time       time.Duration `json:"time_ns"`  // self time: enumeration + filters, excluding inner nodes
 	PoolHits   uint64        `json:"pool_hits"`
 	PoolMisses uint64        `json:"pool_misses"`
+
+	// Hash-join actuals (nodes with a HashJoinPath).
+	HashBuildRows int64 `json:"hash_build_rows,omitempty"` // rows materialized into the table
+	HashProbes    int64 `json:"hash_probes,omitempty"`     // outer bindings probed
+	HashHits      int64 `json:"hash_hits,omitempty"`       // rows the probes produced
 }
 
 // PlanRuntime holds the actuals of one instrumented execution: one
@@ -28,6 +33,11 @@ type PlanRuntime struct {
 	ForAllChecked int64         `json:"forall_checked"` // bindings entering quantification
 	ForAllPassed  int64         `json:"forall_passed"`  // bindings surviving it
 	Output        int64         `json:"output"`         // bindings delivered to the consumer
+
+	// Deref-cache actuals for this execution (OID→value memoization of
+	// implicit joins; zero when the cache is disabled).
+	DerefHits   int64 `json:"deref_hits,omitempty"`
+	DerefMisses int64 `json:"deref_misses,omitempty"`
 }
 
 // EnableRuntime attaches (and returns) a fresh runtime accumulator; the
@@ -103,6 +113,10 @@ func (p *Plan) ExplainAnalyze(sum AnalyzeSummary) string {
 		nr := rt.Nodes[i]
 		fmt.Fprintf(&b, "%s   (actual rows=%d loops=%d in=%d time=%s pool=%dh/%dm)\n",
 			indent, nr.RowsOut, nr.Loops, nr.RowsIn, fmtDur(nr.Time), nr.PoolHits, nr.PoolMisses)
+		if n.Hash != nil {
+			fmt.Fprintf(&b, "%s   (hash build=%d probes=%d hits=%d)\n",
+				indent, nr.HashBuildRows, nr.HashProbes, nr.HashHits)
+		}
 		for _, f := range n.Filter {
 			fmt.Fprintf(&b, "%s   filter: %s\n", indent, ExprString(f))
 		}
@@ -130,6 +144,9 @@ func (p *Plan) ExplainAnalyze(sum AnalyzeSummary) string {
 	}
 	fmt.Fprintf(&b, "rows: %d\n", sum.Rows)
 	fmt.Fprintf(&b, "buffer pool: %d hits, %d misses\n", sum.PoolHits, sum.PoolMisses)
+	if rt.DerefHits > 0 || rt.DerefMisses > 0 {
+		fmt.Fprintf(&b, "deref cache: %d hits, %d misses\n", rt.DerefHits, rt.DerefMisses)
+	}
 	fmt.Fprintf(&b, "timing: parse=%s check=%s plan=%s execute=%s\n",
 		fmtDur(sum.Parse), fmtDur(sum.Check), fmtDur(sum.Plan), fmtDur(sum.Execute))
 	return b.String()

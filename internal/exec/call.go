@@ -23,7 +23,7 @@ func (ex *Executor) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, e
 		// is dereferenced (dangling references pass null).
 		if r, isRef := v.(value.Ref); isRef {
 			if _, isTT := c.Fn.Params[i].Type.(*types.TupleType); isTT {
-				tv, live, err := ex.store.Get(r.OID)
+				tv, live, err := ex.derefGet(r.OID)
 				if err != nil {
 					return nil, err
 				}

@@ -77,7 +77,7 @@ func (ex *Executor) materializeExtent(name string) (value.Value, error) {
 	}
 	err := ex.store.ScanElems(name, func(_ storage.RID, v value.Value) error {
 		if r, isRef := v.(value.Ref); isRef {
-			tv, ok, err := ex.store.Get(r.OID)
+			tv, ok, err := ex.derefGet(r.OID)
 			if err != nil {
 				return err
 			}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/excess/sema"
+	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/storage"
@@ -37,6 +38,25 @@ type Executor struct {
 	// immutable once defined, so a bound body stays valid; a dropped
 	// extent surfaces as the same error either way.
 	fnCache map[*catalog.Function]*boundBody
+
+	// derefCache memoizes object fetches (OID → decoded tuple) so implicit
+	// joins repeated across thousands of bindings — E.dept.floor for every
+	// E — and rescans of an inner extent decode each object once instead
+	// of once per binding. The cache is valid for one store version: any
+	// mutation bumps store.Version() and the next lookup flushes. Cached
+	// tuples are shared; every consumer treats fetched values as read-only
+	// (update statements re-fetch through store.Get directly).
+	derefCache   map[oid.OID]*value.Tuple
+	extentCache  map[string]*cachedExtent // extents fully scanned at derefVersion
+	derefVersion uint64
+	derefHits    int64
+	derefMisses  int64
+	statsMisses  int64
+
+	// Optional metrics handles (nil when no registry is attached).
+	cStatsMiss, cDerefHit, cDerefMiss *metrics.Counter
+	cHashBuilds, cHashBuildRows       *metrics.Counter
+	cHashProbes, cHashHits            *metrics.Counter
 }
 
 // boundBody is a memoized function body.
@@ -62,7 +82,23 @@ func (ex *Executor) SetOptions(o algebra.Options) { ex.opts = o }
 // Options returns the current optimizer options.
 func (ex *Executor) Options() algebra.Options { return ex.opts }
 
-// EstimateLen implements algebra.Stats.
+// SetMetrics attaches the engine metrics registry; the executor then
+// counts join and deref-cache traffic (join.hash.*, deref.cache.*) and
+// cardinality-estimate misses (stats.misses). Handles are resolved once
+// here so hot paths pay one atomic add per event.
+func (ex *Executor) SetMetrics(reg *metrics.Registry) {
+	ex.cStatsMiss = reg.Counter("stats.misses")
+	ex.cDerefHit = reg.Counter("deref.cache.hits")
+	ex.cDerefMiss = reg.Counter("deref.cache.misses")
+	ex.cHashBuilds = reg.Counter("join.hash.builds")
+	ex.cHashBuildRows = reg.Counter("join.hash.buildrows")
+	ex.cHashProbes = reg.Counter("join.hash.probes")
+	ex.cHashHits = reg.Counter("join.hash.hits")
+}
+
+// EstimateLen implements algebra.Stats. Extents without statistics fall
+// back to algebra.DefaultCardinality; such misses are counted (the
+// stats.misses metric) so bad cardinality guesses are observable.
 func (ex *Executor) EstimateLen(extent string) int {
 	if n, err := ex.store.ExtentLen(extent); err == nil {
 		return n
@@ -70,8 +106,16 @@ func (ex *Executor) EstimateLen(extent string) int {
 	if n, err := ex.store.ElemLen(extent); err == nil {
 		return n
 	}
-	return 1000
+	ex.statsMisses++
+	if ex.cStatsMiss != nil {
+		ex.cStatsMiss.Inc()
+	}
+	return algebra.DefaultCardinality
 }
+
+// StatsMisses returns how many cardinality estimates fell back to the
+// default since the executor was created.
+func (ex *Executor) StatsMisses() int64 { return ex.statsMisses }
 
 // prov records where a binding's value lives, for update statements.
 type prov struct {
@@ -98,7 +142,13 @@ func newBinding() *binding {
 }
 
 func (b *binding) clone() *binding {
-	n := newBinding()
+	// Size the maps exactly: clone runs once per group (grouped
+	// retrieves) and per retained row, and growing a map from the
+	// default size costs several rehashes for typical variable counts.
+	n := &binding{
+		vals: make(map[*sema.Var]value.Value, len(b.vals)),
+		prov: make(map[*sema.Var]prov, len(b.prov)),
+	}
 	for k, v := range b.vals {
 		n.vals[k] = v
 	}
@@ -123,7 +173,12 @@ type evalCtx struct {
 func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
 	b := newBinding()
 	rt := p.Runtime
-	return ex.runNode(p, 0, b, func(bb *binding) error {
+	rs := &runState{}
+	var dh, dm int64
+	if rt != nil {
+		dh, dm = ex.derefHits, ex.derefMisses
+	}
+	err := ex.runNode(p, 0, b, rs, func(bb *binding) error {
 		if rt != nil {
 			rt.FinalIn++
 		}
@@ -151,6 +206,19 @@ func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
 		}
 		return yield(bb)
 	})
+	if rt != nil {
+		rt.DerefHits += ex.derefHits - dh
+		rt.DerefMisses += ex.derefMisses - dm
+		for i := range p.Nodes {
+			if t := rs.tables[&p.Nodes[i]]; t != nil {
+				nr := &rt.Nodes[i]
+				nr.HashBuildRows += t.buildRows
+				nr.HashProbes += t.probes
+				nr.HashHits += t.hits
+			}
+		}
+	}
+	return err
 }
 
 func (ex *Executor) passAll(b *binding, conjs []sema.Expr) (bool, error) {
@@ -169,12 +237,12 @@ func (ex *Executor) passAll(b *binding, conjs []sema.Expr) (bool, error) {
 
 // runNode binds plan node i for every element of its source, recursing
 // to the next node.
-func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, yield func(*binding) error) error {
+func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
 	if i >= len(p.Nodes) {
 		return yield(b)
 	}
 	if p.Runtime != nil {
-		return ex.runNodeTraced(p, i, b, yield)
+		return ex.runNodeTraced(p, i, b, rs, yield)
 	}
 	n := &p.Nodes[i]
 	emit := func(v value.Value, pr prov) error {
@@ -182,19 +250,19 @@ func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, yield func(*bind
 		b.prov[n.Var] = pr
 		ok, err := ex.passAll(b, n.Filter)
 		if err == nil && ok {
-			err = ex.runNode(p, i+1, b, yield)
+			err = ex.runNode(p, i+1, b, rs, yield)
 		}
 		delete(b.vals, n.Var)
 		delete(b.prov, n.Var)
 		return err
 	}
-	return ex.enumerate(b, n, emit)
+	return ex.enumerate(b, n, rs, emit)
 }
 
 // runNodeTraced is runNode with actuals collection: loops, rows in/out,
 // self time (child time subtracted) and buffer-pool traffic attributed
 // to this node's fetches and filter evaluation.
-func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, yield func(*binding) error) error {
+func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
 	n := &p.Nodes[i]
 	rt := &p.Runtime.Nodes[i]
 	rt.Loops++
@@ -217,7 +285,7 @@ func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, yield func
 			rt.RowsOut++
 			account() // pool traffic so far is this node's fetch/filter work
 			t0 := time.Now()
-			err = ex.runNode(p, i+1, b, yield)
+			err = ex.runNode(p, i+1, b, rs, yield)
 			child += time.Since(t0)
 			base = pool.Stats() // children's traffic is theirs
 		}
@@ -225,22 +293,27 @@ func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, yield func
 		delete(b.prov, n.Var)
 		return err
 	}
-	err := ex.enumerate(b, n, emit)
+	err := ex.enumerate(b, n, rs, emit)
 	account()
 	rt.Time += time.Since(start) - child
 	return err
 }
 
-// enumerate produces the bindings of one variable.
-func (ex *Executor) enumerate(b *binding, n *algebra.Node, emit func(value.Value, prov) error) error {
+// enumerate produces the bindings of one variable. rs may be nil (build
+// side of a hash join, universal quantification): then the node is
+// enumerated directly even if a hash path was selected.
+func (ex *Executor) enumerate(b *binding, n *algebra.Node, rs *runState, emit func(value.Value, prov) error) error {
 	v := n.Var
 	switch v.Kind {
 	case sema.VarExtent:
+		if n.Hash != nil && rs != nil {
+			return ex.hashProbe(b, n, rs, emit)
+		}
 		if ex.store.IsObjectExtent(v.Extent) {
 			if n.Access != nil {
 				ids := object.IndexLookup(n.Access.Index, n.Access.Lo, n.Access.Hi, n.Access.IncLo, n.Access.IncHi)
 				for _, id := range ids {
-					tv, ok, err := ex.store.Get(id)
+					tv, ok, err := ex.derefGet(id)
 					if err != nil {
 						return err
 					}
@@ -253,6 +326,11 @@ func (ex *Executor) enumerate(b *binding, n *algebra.Node, emit func(value.Value
 				}
 				return nil
 			}
+			if !ex.opts.NoDerefCache {
+				return ex.scanExtentCached(v.Extent, func(id oid.OID, tv *value.Tuple) error {
+					return emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent})
+				})
+			}
 			return ex.store.ScanExtent(v.Extent, func(id oid.OID, tv *value.Tuple) error {
 				return emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent})
 			})
@@ -261,7 +339,7 @@ func (ex *Executor) enumerate(b *binding, n *algebra.Node, emit func(value.Value
 			return ex.store.ScanElems(v.Extent, func(rid storage.RID, ev value.Value) error {
 				pr := prov{extent: v.Extent, rid: rid}
 				if r, isRef := ev.(value.Ref); isRef {
-					tv, ok, err := ex.store.Get(r.OID)
+					tv, ok, err := ex.derefGet(r.OID)
 					if err != nil {
 						return err
 					}
@@ -350,7 +428,7 @@ func (ex *Executor) walkCollection(cur value.Value, owner collOwner, steps []sem
 					eo := owner
 					ev := e
 					if r, isRef := e.(value.Ref); isRef {
-						tv, live, err := ex.store.Get(r.OID)
+						tv, live, err := ex.derefGet(r.OID)
 						if err != nil {
 							return err
 						}
@@ -376,7 +454,7 @@ func (ex *Executor) walkCollection(cur value.Value, owner collOwner, steps []sem
 		pr := prov{parentOID: owner.oid, parentVar: owner.dbvar, steps: owner.steps, elemIdx: idx}
 		ev := e
 		if r, isRef := e.(value.Ref); isRef {
-			tv, live, err := ex.store.Get(r.OID)
+			tv, live, err := ex.derefGet(r.OID)
 			if err != nil {
 				return err
 			}
@@ -401,7 +479,7 @@ func (ex *Executor) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx
 		return value.Null{}, owner, nil
 	}
 	if r, isRef := cur.(value.Ref); isRef {
-		tv, live, err := ex.store.Get(r.OID)
+		tv, live, err := ex.derefGet(r.OID)
 		if err != nil {
 			return nil, owner, err
 		}
@@ -483,7 +561,7 @@ func (ex *Executor) forAllHolds(b *binding, uvars []*sema.Var, conjs []sema.Expr
 			return nil
 		}
 		n := &algebra.Node{Var: uvars[i]}
-		return ex.enumerate(b, n, func(v value.Value, pr prov) error {
+		return ex.enumerate(b, n, nil, func(v value.Value, pr prov) error {
 			b.vals[uvars[i]] = v
 			b.prov[uvars[i]] = pr
 			err := rec(i + 1)

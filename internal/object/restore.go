@@ -75,6 +75,7 @@ func (s *Store) ExportVar(name string) ([]byte, error) {
 // extent (or the nursery for components) must already exist; the encoded
 // tuple is stored verbatim and indexed.
 func (s *Store) RestoreObject(o ExportObject) error {
+	s.bump()
 	if s.Exists(o.OID) {
 		return fmt.Errorf("restore: OID %s already live", o.OID)
 	}
@@ -110,6 +111,7 @@ func (s *Store) RestoreObject(o ExportObject) error {
 
 // RestoreElem re-creates one element of a ref/value-set extent.
 func (s *Store) RestoreElem(extent string, data []byte) error {
+	s.bump()
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("restore: no element extent %s", extent)
@@ -121,6 +123,7 @@ func (s *Store) RestoreElem(extent string, data []byte) error {
 // RestoreVar overwrites a singleton/array variable with a dumped value
 // without ownership processing.
 func (s *Store) RestoreVar(name string, data []byte) error {
+	s.bump()
 	rid, ok := s.varRID[name]
 	if !ok {
 		return fmt.Errorf("restore: no variable %s", name)

@@ -51,7 +51,20 @@ type Store struct {
 	varOID  map[string]oid.OID // pseudo-owner OID per variable
 	omap    map[oid.OID]*objInfo
 	rids    map[string]map[storage.RID]oid.OID // extent -> reverse RID map
+
+	// version counts mutations (inserts, updates, deletes, variable and
+	// element writes, restores). Caches keyed on object state — the
+	// executor's deref memoization — compare it to detect staleness, so
+	// every mutating method must call bump.
+	version uint64
 }
+
+// Version returns the store's mutation counter. Any change to stored
+// values (object, element or variable) increments it; a cache holding
+// decoded values is valid exactly as long as the version is unchanged.
+func (s *Store) Version() uint64 { return s.version }
+
+func (s *Store) bump() { s.version++ }
 
 // New creates an object store over the pool, resolving types through the
 // catalog.
@@ -79,6 +92,7 @@ func (s *Store) Pool() *storage.BufferPool { return s.pool }
 // singletons and arrays get a slot in the variable heap initialized to
 // null (or an array of nulls for fixed arrays).
 func (s *Store) InitVar(v *catalog.Variable) error {
+	s.bump()
 	switch {
 	case v.IsObjectSet():
 		s.extents[v.Name] = storage.NewHeapFile(s.pool)
@@ -110,6 +124,7 @@ func (s *Store) InitVar(v *catalog.Variable) error {
 
 // DropVar destroys a database variable and everything it owns.
 func (s *Store) DropVar(v *catalog.Variable) error {
+	s.bump()
 	switch {
 	case v.IsObjectSet():
 		h := s.extents[v.Name]
@@ -164,6 +179,7 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 // claimed (failing if already owned elsewhere). The tuple value passed in
 // is not retained.
 func (s *Store) Insert(extent string, tv *value.Tuple) (oid.OID, error) {
+	s.bump()
 	h, ok := s.extents[extent]
 	if !ok {
 		return oid.Nil, fmt.Errorf("no object extent %s", extent)
@@ -248,6 +264,7 @@ func (s *Store) heapFor(info *objInfo) *storage.HeapFile {
 // own-ref component it owns (recursively), and removes its index
 // entries. References elsewhere are left dangling and read as null.
 func (s *Store) Delete(id oid.OID) error {
+	s.bump()
 	info, ok := s.omap[id]
 	if !ok {
 		return fmt.Errorf("delete of missing object %s", id)
@@ -276,6 +293,7 @@ func (s *Store) Delete(id oid.OID) error {
 // Update rewrites an object's stored value. Own-ref components removed by
 // the update are destroyed; components added are created or claimed.
 func (s *Store) Update(id oid.OID, tv *value.Tuple) error {
+	s.bump()
 	info, ok := s.omap[id]
 	if !ok {
 		return fmt.Errorf("update of missing object %s", id)
@@ -353,6 +371,25 @@ func (s *Store) ScanExtent(extent string, fn func(id oid.OID, tv *value.Tuple) e
 			return err
 		}
 		return fn(id, v.(*value.Tuple))
+	})
+}
+
+// ScanExtentIDs iterates the live object identities of an object-set
+// extent in heap order — the same order ScanExtent visits — without
+// decoding the stored records, so a caller holding decoded values (the
+// executor's deref cache) can skip the per-record decode.
+func (s *Store) ScanExtentIDs(extent string, fn func(id oid.OID) error) error {
+	h, ok := s.extents[extent]
+	if !ok {
+		return fmt.Errorf("no object extent %s", extent)
+	}
+	byRID := s.rids[extent]
+	return h.Scan(func(rid storage.RID, rec []byte) error {
+		id, ok := byRID[rid]
+		if !ok {
+			return fmt.Errorf("extent %s: record %s has no OID", extent, rid)
+		}
+		return fn(id)
 	})
 }
 

@@ -40,6 +40,7 @@ func (s *Store) GetVar(name string) (value.Value, error) {
 // SetVar replaces the value of a singleton or array variable, destroying
 // own-ref components the old value owned and internalizing the new one.
 func (s *Store) SetVar(name string, nv value.Value) error {
+	s.bump()
 	v, ok := s.cat.Var(name)
 	if !ok {
 		return fmt.Errorf("no database variable %s", name)
@@ -84,6 +85,7 @@ func (s *Store) SetVar(name string, nv value.Value) error {
 
 // InsertElem appends a value to a ref-set or value-set extent.
 func (s *Store) InsertElem(extent string, v value.Value) error {
+	s.bump()
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("no element extent %s", extent)
@@ -113,6 +115,7 @@ func (s *Store) ScanElems(extent string, fn func(rid storage.RID, v value.Value)
 
 // DeleteElem removes one element record from a ref/value-set extent.
 func (s *Store) DeleteElem(extent string, rid storage.RID) error {
+	s.bump()
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("no element extent %s", extent)
