@@ -1,8 +1,6 @@
 package extra
 
 import (
-	"fmt"
-
 	"repro/internal/authz"
 )
 
@@ -37,23 +35,16 @@ func (db *DB) AddToGroup(user, group string) error {
 	return db.auth.AddToGroup(user, group)
 }
 
-// SetUser switches the session's current user; subsequent statements run
-// with that user's privileges.
+// SetUser switches the default session's current user; subsequent
+// statements through DB.Exec/Query run with that user's privileges.
+// Sessions created with NewSession carry their own user (Session.SetUser).
 func (db *DB) SetUser(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.auth.UserExists(name) {
-		return fmt.Errorf("no user %s", name)
-	}
-	db.user = name
-	return nil
+	return db.def.SetUser(name)
 }
 
-// CurrentUser returns the session's user.
+// CurrentUser returns the default session's user.
 func (db *DB) CurrentUser() string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.user
+	return db.def.CurrentUser()
 }
 
 // Grants lists the grants on a database object.

@@ -19,7 +19,8 @@
 //	\explain QUERY  show the optimizer's plan for a retrieve
 //	\analyze [json] QUERY
 //	                execute a retrieve and show per-operator actuals
-//	\slow           list slow-query log entries
+//	\slow           list slow-query log entries (with session attribution)
+//	\user [NAME]    show or switch the shell session's user
 //	\optimizer on|off
 //	\quit
 package main
@@ -64,6 +65,11 @@ func main() {
 		}
 	}
 
+	// The shell is one client of the database: it runs its statements
+	// through its own session (user identity, range declarations), the
+	// same handle a server would hand each connection.
+	sess := db.NewSession()
+
 	if flag.NArg() > 0 {
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
@@ -71,7 +77,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "excess:", err)
 				os.Exit(1)
 			}
-			if res, err := db.Exec(string(src)); err != nil {
+			if res, err := sess.Exec(string(src)); err != nil {
 				fmt.Fprintf(os.Stderr, "excess: %s: %v\n", path, err)
 				os.Exit(1)
 			} else if res != nil {
@@ -83,10 +89,10 @@ func main() {
 
 	fmt.Println("EXCESS interactive shell — EXTRA data model for EXODUS")
 	fmt.Println(`Type statements (end with ";"), or \help.`)
-	repl(db, os.Stdin)
+	repl(db, sess, os.Stdin)
 }
 
-func repl(db *extra.DB, in *os.File) {
+func repl(db *extra.DB, sess *extra.Session, in *os.File) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -102,7 +108,7 @@ func repl(db *extra.DB, in *os.File) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(db, trimmed) {
+			if !meta(db, sess, trimmed) {
 				return
 			}
 			prompt()
@@ -113,7 +119,7 @@ func repl(db *extra.DB, in *os.File) {
 		if strings.HasSuffix(trimmed, ";") || completeStatement(buf.String()) {
 			src := buf.String()
 			buf.Reset()
-			if res, err := db.Exec(src); err != nil {
+			if res, err := sess.Exec(src); err != nil {
 				fmt.Println("error:", err)
 			} else if res != nil {
 				fmt.Print(res)
@@ -153,13 +159,13 @@ func completeStatement(src string) bool {
 }
 
 // meta handles backslash commands; it reports false on \quit.
-func meta(db *extra.DB, cmd string) bool {
+func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\quit`, `\q`:
 		return false
 	case `\help`, `\h`:
-		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \optimizer on|off \quit`)
+		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \user [NAME] \optimizer on|off \quit`)
 	case `\types`:
 		for _, n := range db.Catalog().TupleTypeNames() {
 			fmt.Println(" ", n)
@@ -242,9 +248,19 @@ func meta(db *extra.DB, cmd string) bool {
 			break
 		}
 		for _, e := range entries {
-			fmt.Printf("  %s  total=%v rows=%d (parse=%v check=%v plan=%v execute=%v)\n",
-				strings.Join(strings.Fields(e.Src), " "), e.Total, e.Rows,
+			fmt.Printf("  [session %d] %s  total=%v rows=%d (parse=%v check=%v plan=%v execute=%v)\n",
+				e.Session, strings.Join(strings.Fields(e.Src), " "), e.Total, e.Rows,
 				e.Parse, e.Check, e.Plan, e.Execute)
+		}
+	case `\user`:
+		if len(fields) < 2 {
+			fmt.Printf("  session %d, user %s\n", sess.ID(), sess.CurrentUser())
+			break
+		}
+		if err := sess.SetUser(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("  now %s\n", fields[1])
 		}
 	case `\optimizer`:
 		if len(fields) == 2 && fields[1] == "off" {

@@ -30,20 +30,21 @@ func TestCompleteStatement(t *testing.T) {
 
 func TestMetaCommands(t *testing.T) {
 	db := openTestDB(t)
+	sess := db.NewSession()
 	// All meta commands run without touching stdin; \quit returns false.
 	for _, cmd := range []string{
 		`\help`, `\types`, `\type Person`, `\type NoSuch`, `\vars`, `\adts`,
 		`\stats`, `\stats json`, `\optimizer off`, `\optimizer on`, `\explain retrieve (1)`,
 		`\analyze retrieve (P.name) from P in People`,
 		`\analyze json retrieve (P.name) from P in People`,
-		`\analyze`, `\slow`,
+		`\analyze`, `\slow`, `\user`,
 		`\explain`, `\type`, `\bogus`,
 	} {
-		if !meta(db, cmd) {
+		if !meta(db, sess, cmd) {
 			t.Errorf("meta(%q) requested exit", cmd)
 		}
 	}
-	if meta(db, `\quit`) || meta(db, `\q`) {
+	if meta(db, sess, `\quit`) || meta(db, sess, `\q`) {
 		t.Error("\\quit did not request exit")
 	}
 }

@@ -1,10 +1,10 @@
 // Command extrabench regenerates every experiment in EXPERIMENTS.md: the
 // functional reproductions of the paper's figures (F1–F7) and the
-// performance characterization of its design choices (B1–B11).
+// performance characterization of its design choices (B1–B12).
 //
 // Usage:
 //
-//	extrabench [-exp all|F1,...,B11] [-reps 20]
+//	extrabench [-exp all|F1,...,B12] [-reps 20] [-par N]
 //
 // Each experiment prints the table rows recorded in EXPERIMENTS.md.
 package main
@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	extra "repro"
@@ -23,6 +25,9 @@ import (
 )
 
 var reps = flag.Int("reps", 20, "timing repetitions per measurement")
+
+var par = flag.Int("par", 0,
+	"B12: measure only this parallelism level (0 = the 1, 4, 8 ladder)")
 
 var statsMode = flag.String("stats", "",
 	`dump the metrics registry of each experiment's last database after its phase: "text" or "json"`)
@@ -60,7 +65,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B11) or all")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B12) or all")
 	flag.Parse()
 
 	exps := []experiment{
@@ -82,6 +87,7 @@ func main() {
 		{"B9", "inheritance depth vs query cost", b9},
 		{"B10", "buffer pool working-set cliff", b10},
 		{"B11", "join methods: hash vs nested, deref cache on vs off", b11},
+		{"B12", "parallel read throughput: sessions sharing the read lock", b12},
 	}
 	want := map[string]bool{}
 	all := *expFlag == "all"
@@ -670,5 +676,98 @@ func b11() error {
 		return err
 	}
 	fmt.Println("  wrote BENCH_joins.json")
+	return nil
+}
+
+// concRecord is one line of BENCH_concurrency.json: read throughput at
+// one parallelism level. GOMAXPROCS is recorded because the speedup a
+// run can show is bounded by the cores the scheduler may use — on a
+// single-core host all levels collapse to lock-contention overhead.
+type concRecord struct {
+	Name        string  `json:"name"`
+	Goroutines  int     `json:"goroutines"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Statements  int     `json:"statements"`
+	TotalNs     int64   `json:"total_ns"`
+	StmtsPerSec float64 `json:"stmts_per_sec"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+// b12 measures read-statement throughput as goroutines are added, each
+// with its own session, over the Figure 5 implicit-join workload. All
+// statements are retrieves, so every goroutine holds the shared side of
+// the statement lock: added goroutines should scale until the cores run
+// out. Writes BENCH_concurrency.json for CI trend tooling.
+func b12() error {
+	db, err := openW(workload.Params{Departments: 20, Employees: 2000, Floors: 5, Seed: 13}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	q := `retrieve (E.name) from E in Employees where E.dept.floor = 2`
+	if _, err := db.Query(q); err != nil { // warm the pool and plan path
+		return err
+	}
+
+	levels := []int{1, 4, 8}
+	if *par > 0 {
+		levels = []int{*par}
+	}
+	perG := *reps * 5 // statements per goroutine; scale with -reps
+	row("goroutines", "stmts", "elapsed", "stmts/sec", "speedup")
+	var base float64
+	var recs []concRecord
+	for _, g := range levels {
+		errc := make(chan error, g)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < g; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := db.NewSession()
+				for j := 0; j < perG; j++ {
+					if _, err := sess.Query(q); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return err
+		default:
+		}
+		total := g * perG
+		rate := float64(total) / elapsed.Seconds()
+		if base == 0 {
+			base = rate
+		}
+		speedup := rate / base
+		row(g, total, elapsed.Round(time.Microsecond), fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", speedup))
+		recs = append(recs, concRecord{
+			Name:        fmt.Sprintf("ParallelRead%dG", g),
+			Goroutines:  g,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Statements:  total,
+			TotalNs:     elapsed.Nanoseconds(),
+			StmtsPerSec: rate,
+			Speedup:     speedup,
+		})
+	}
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_concurrency.json", append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_concurrency.json")
 	return nil
 }

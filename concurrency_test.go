@@ -1,0 +1,274 @@
+package extra
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The concurrency tests exercise the readers-writer statement lock and
+// the per-statement executor state: many sessions running the paper's
+// figure queries at once must behave exactly like one session running
+// them in order, and a writer mixed in must never expose a torn tuple
+// or lose an update. Run with -race; the CI stress job does.
+
+// figureQueries is a read-only slice of the Figure 1-7 retrievals (see
+// figures_test.go for the serial versions with expected answers). Every
+// query here is classified read-only by sema.ReadOnly, so under the
+// differential test all eight goroutines hold the shared lock at once.
+var figureQueries = []string{
+	// Figure 1: ADT attribute retrieval.
+	`retrieve (t = Today)`,
+	`retrieve (m = month(Today))`,
+	// Figure 5: implicit join through a reference path.
+	`retrieve (E.name) from E in Employees where E.dept.floor = 2`,
+	// Figure 5: nested set with a path-correlated implicit variable.
+	`retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2`,
+	// Figure 5: explicit join between two extents.
+	`retrieve (E.name, D.dname) from E in Employees, D in Departments where E.salary > 80 and D.floor = E.dept.floor`,
+	// Figure 5: identity join on references.
+	`retrieve (A.name, B.name) from A in Employees, B in Employees where A.dept is B.dept and A.name != B.name`,
+	// Figure 6: aggregates — whole-extent, grouped, over-dedup, per-binding.
+	`retrieve (s = sum(Employees.salary))`,
+	`retrieve (f = E.dept.floor, a = avg(E.salary by E.dept.floor)) from E in Employees`,
+	`retrieve (n = count(E.dept.dname over E.dept.dname)) from E in Employees`,
+	`retrieve (E.name, n = count(E.kids)) from E in Employees where count(E.kids) >= 1`,
+	// Figure 6: universal quantification (needs the per-session EV range).
+	`retrieve (D.dname) from D in Departments where EV.dept isnot D or EV.salary > 60`,
+	// Figure 7: ADT member functions in all three invocation syntaxes.
+	`retrieve (s = P.val1 + P.val2) from P in Pairs`,
+	`retrieve (s = Add(P.val1, P.val2)) from P in Pairs`,
+	`retrieve (m = Magnitude(P.val1 * P.val2)) from P in Pairs`,
+}
+
+// loadFigureDB loads the company schema plus the Figure 1 Date variable
+// and the Figure 7 Complex pairs so every query in figureQueries has
+// data behind it.
+func loadFigureDB(t *testing.T) *DB {
+	t.Helper()
+	db := mustOpen(t)
+	loadCompany(t, db)
+	db.MustExec(`create Today : Date`)
+	db.MustExec(`set Today = date("12/07/1987")`)
+	db.MustExec(`
+		define type CnumPair: ( val1: Complex, val2: Complex )
+		create Pairs : { own CnumPair }
+	`)
+	db.MustExec(`append to Pairs (val1 = complex(1.0, 2.0), val2 = complex(3.0, -1.0))`)
+	return db
+}
+
+// TestConcurrentFigureQueriesMatchSerial runs every figure query from 8
+// goroutines, each with its own session, and requires every result to
+// be byte-identical to the serial answer. This is the differential
+// check for the shared read path: the per-statement State split means
+// no goroutine can observe another's deref cache, parameters or stats.
+func TestConcurrentFigureQueriesMatchSerial(t *testing.T) {
+	db := loadFigureDB(t)
+
+	// Serial reference answers, one session, queries in order.
+	ref := db.NewSession()
+	ref.MustExec(`range of EV is all Employees`)
+	want := make([]string, len(figureQueries))
+	for i, q := range figureQueries {
+		want[i] = ref.MustQuery(q).String()
+	}
+
+	const goroutines = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			if _, err := sess.Exec(`range of EV is all Employees`); err != nil {
+				t.Errorf("goroutine %d: range decl: %v", g, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				// Stagger the starting query so goroutines collide on
+				// different statements each round.
+				for i := range figureQueries {
+					q := figureQueries[(i+g)%len(figureQueries)]
+					res, err := sess.Query(q)
+					if err != nil {
+						t.Errorf("goroutine %d: %s: %v", g, q, err)
+						return
+					}
+					if got := res.String(); got != want[(i+g)%len(figureQueries)] {
+						t.Errorf("goroutine %d round %d: %s:\ngot  %q\nwant %q",
+							g, r, q, got, want[(i+g)%len(figureQueries)])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentReadersWithWriter mixes one writing session with
+// several reading sessions. The writer appends employees whose age
+// always equals their salary; a read that ever sees the two fields
+// disagree has observed a torn tuple. Readers also track the employee
+// count, which must be non-decreasing (appends only) — a decrease
+// would mean a statement ran against a half-applied write. Finally the
+// total count must equal initial + writes: a lost append (or a lost
+// store-version bump hiding one behind a stale deref cache) would show
+// up as a shortfall.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	const initial = 4 // loadCompany's employees
+	const writes = 60
+	const readers = 6
+
+	var wg sync.WaitGroup
+	wdone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(wdone)
+		w := db.NewSession()
+		for i := 0; i < writes; i++ {
+			v := 1000 + i
+			src := fmt.Sprintf(
+				`append to Employees (name = "W%d", age = %d, salary = %d)`, i, v, v)
+			if _, err := w.Exec(src); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			lastW, lastN := 0, 0
+			finishing := false
+			for {
+				res, err := sess.Query(
+					`retrieve (E.name, E.age, E.salary) from E in Employees where E.age >= 1000`)
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				for _, row := range res.Rows {
+					if row[1].String() != row[2].String() {
+						t.Errorf("reader %d: torn tuple %v: age %s != salary %s",
+							g, row[0], row[1], row[2])
+						return
+					}
+				}
+				if len(res.Rows) < lastW {
+					t.Errorf("reader %d: writer rows went backwards: %d -> %d", g, lastW, len(res.Rows))
+					return
+				}
+				lastW = len(res.Rows)
+				cnt, err := sess.Query(`retrieve (n = count(Employees))`)
+				if err != nil {
+					t.Errorf("reader %d: count: %v", g, err)
+					return
+				}
+				n := 0
+				fmt.Sscanf(cnt.Rows[0][0].String(), "%d", &n)
+				if n < lastN {
+					t.Errorf("reader %d: employee count went backwards: %d -> %d", g, lastN, n)
+					return
+				}
+				lastN = n
+				if finishing {
+					return
+				}
+				// One more full read after the writer finishes, so every
+				// reader observes the final state at least once.
+				select {
+				case <-wdone:
+					finishing = true
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	res := db.MustQuery(`retrieve (n = count(Employees))`)
+	if got := res.Rows[0][0].String(); got != itoa(initial+writes) {
+		t.Fatalf("lost update: final count %s, want %d", got, initial+writes)
+	}
+}
+
+// TestMetricsSnapshotConsistentMidStatement samples MetricsSnapshot and
+// PoolStats continuously while sessions execute: every counter must be
+// monotonic between snapshots (single-pass atomic reads can lag but
+// never tear or decrease), and pool.hits+pool.misses in a snapshot must
+// never exceed what a direct PoolStats taken afterwards reports.
+func TestMetricsSnapshotConsistentMidStatement(t *testing.T) {
+	db := loadFigureDB(t)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := figureQueries[2+(g%4)] // plain retrieves, no ranges needed
+				if _, err := sess.Query(q); err != nil {
+					t.Errorf("sampler workload: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	prev := db.MetricsSnapshot()
+	for i := 0; i < 200; i++ {
+		s := db.MetricsSnapshot()
+		for name, v := range prev.Counters {
+			if cur, ok := s.Counters[name]; ok && cur < v {
+				t.Fatalf("counter %s went backwards: %d -> %d", name, v, cur)
+			}
+		}
+		ps := db.PoolStats()
+		if s.Counters["pool.hits"] > ps.Hits || s.Counters["pool.misses"] > ps.Misses {
+			t.Fatalf("snapshot pool counters lead the pool: snapshot (%d,%d) vs direct (%d,%d)",
+				s.Counters["pool.hits"], s.Counters["pool.misses"], ps.Hits, ps.Misses)
+		}
+		prev = s
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestSlowQuerySessionAttribution checks that the slow-query ring tags
+// entries with the id of the session that ran them.
+func TestSlowQuerySessionAttribution(t *testing.T) {
+	db := mustOpen(t)
+	loadCompany(t, db)
+	db.SetSlowQueryThreshold(1) // 1ns: log everything
+
+	a, b := db.NewSession(), db.NewSession()
+	a.MustQuery(`retrieve (E.name) from E in Employees`)
+	b.MustQuery(`retrieve (D.dname) from D in Departments`)
+
+	seen := map[int64]bool{}
+	for _, e := range db.SlowQueries() {
+		seen[e.Session] = true
+	}
+	if !seen[a.ID()] || !seen[b.ID()] {
+		t.Fatalf("slow log missing session ids %d/%d: %+v", a.ID(), b.ID(), db.SlowQueries())
+	}
+}

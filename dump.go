@@ -22,8 +22,10 @@ import (
 // replay into a fresh database. Authorization state (users, groups,
 // grants) is session configuration and is not dumped.
 func (db *DB) Dump(w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// A dump only reads; the shared lock lets it run beside queries
+	// while still excluding writers (a consistent snapshot).
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "#extra-dump v1")
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/excess/ast"
 	"repro/internal/excess/parse"
+	"repro/internal/excess/sema"
 )
 
 // ErrNotRetrieve reports that a statement given to a retrieve-only
@@ -24,11 +25,6 @@ type ExplainOutput = algebra.AnalyzeReport
 // variable uses, where each predicate conjunct was attached, and the
 // universally quantified residue. The query is not executed.
 func (db *DB) Explain(src string) (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return "", errDBClosed
-	}
 	st, err := parse.One(src, db.reg)
 	if err != nil {
 		return "", err
@@ -37,7 +33,14 @@ func (db *DB) Explain(src string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("explain: %w", ErrNotRetrieve)
 	}
-	cq, err := db.checker(nil).CheckRetrieve(r)
+	// Planning never executes the query; shared lock suffices even for
+	// retrieve into.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return "", errDBClosed
+	}
+	cq, err := db.def.checker(nil).CheckRetrieve(r)
 	if err != nil {
 		return "", err
 	}
@@ -86,12 +89,7 @@ func (db *DB) ExplainAnalyzeJSON(src string) (string, error) {
 // collection enabled, returning the instrumented plan and the
 // statement-level summary.
 func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	var sum algebra.AnalyzeSummary
-	if db.closed {
-		return nil, sum, errDBClosed
-	}
 	t0 := time.Now()
 	st, err := parse.One(src, db.reg)
 	sum.Parse = time.Since(t0)
@@ -102,23 +100,31 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 	if !ok {
 		return nil, sum, fmt.Errorf("explain analyze: %w", ErrNotRetrieve)
 	}
-	t0 = time.Now()
-	cq, err := db.checker(nil).CheckRetrieve(r)
-	sum.Check = time.Since(t0)
+	// Unlike Explain, the query really runs: classify it like any other
+	// statement (a retrieve into mutates the catalog and store).
+	unlock := db.lockStatements(sema.ReadOnly(st))
+	defer unlock()
+	if db.closed {
+		return nil, sum, errDBClosed
+	}
+	sess := db.def
+	cq, err := sess.checker(nil).CheckRetrieve(r)
+	sum.Check = time.Since(t0) - sum.Parse
 	if err != nil {
 		return nil, sum, err
 	}
 	texprs := targetExprs(cq)
-	if err := db.authQuery(cq.Query, nil, texprs...); err != nil {
+	if err := sess.authQuery(cq.Query, nil, texprs...); err != nil {
 		return nil, sum, err
 	}
+	es := db.exec.NewState()
 	t0 = time.Now()
-	plan := db.exec.Plan(cq.Query)
+	plan := es.Plan(cq.Query)
 	sum.Plan = time.Since(t0)
 	plan.EnableRuntime()
 	poolBase := db.pool.Stats()
 	t0 = time.Now()
-	res, err := db.exec.RetrievePlan(cq, plan)
+	res, err := es.RetrievePlan(cq, plan)
 	sum.Execute = time.Since(t0)
 	if err != nil {
 		return nil, sum, err
@@ -132,7 +138,7 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 		sum.Groups = len(res.Rows)
 	}
 	if cq.Into != "" {
-		db.auth.SetOwner(cq.Into, db.user)
+		db.auth.SetOwner(cq.Into, sess.user)
 	}
 	db.metrics.Counter("stmt.analyze").Inc()
 	return plan, sum, nil

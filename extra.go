@@ -22,20 +22,30 @@
 //	`)
 //	res, _ := db.Query(`retrieve (P.name) from P in People where P.age > 40`)
 //	fmt.Print(res)
+//
+// # Concurrency
+//
+// Statements are classified by the sema layer: a retrieve without an
+// into clause is read-only and runs under the shared side of the DB's
+// readers-writer statement lock, so any number of read statements run
+// simultaneously; updates, DDL, range declarations, grants and
+// procedure executions take the exclusive side. DB.NewSession returns a
+// per-client Session with its own user identity and range declarations;
+// the DB-level Exec/Query methods are shorthands for a built-in default
+// session. A DB and its Sessions are safe for concurrent use by
+// multiple goroutines.
 package extra
 
 import (
 	"errors"
-	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adt"
 	"repro/internal/algebra"
 	"repro/internal/authz"
 	"repro/internal/catalog"
-	"repro/internal/excess/ast"
-	"repro/internal/excess/parse"
 	"repro/internal/excess/sema"
 	"repro/internal/exec"
 	"repro/internal/metrics"
@@ -69,28 +79,44 @@ type Metrics = metrics.Registry
 type MetricsSnapshot = metrics.Snapshot
 
 // DB is an EXTRA/EXCESS database: catalog, object store, buffer pool,
-// session state and executor. Statements are serialized by an internal
-// mutex; a DB is safe for concurrent use by multiple goroutines.
+// metrics and the shared executor engine core. Statements take a
+// readers-writer lock — read-only statements (retrieve without into)
+// share it, mutating statements hold it exclusively — so a DB is safe
+// for concurrent use by multiple goroutines and concurrent reads scale
+// across cores. Per-client state (user, range declarations) lives in
+// Sessions (NewSession); the DB's own Exec/Query run on a built-in
+// default session.
 type DB struct {
-	mu      sync.Mutex
-	reg     *adt.Registry
-	cat     *catalog.Catalog
-	pool    *storage.BufferPool
-	store   *object.Store
-	session *sema.Session
-	exec    *exec.Executor
-	auth    *authz.Authorizer
-	user    string
-	closed  bool
+	// mu is the statement lock. Read-only statements hold it shared;
+	// mutating statements (and Close) hold it exclusively. Everything
+	// the read path touches below it — store reads, buffer pool,
+	// catalog, B+-tree lookups, metrics — is safe under concurrent
+	// readers.
+	mu    sync.RWMutex
+	reg   *adt.Registry
+	cat   *catalog.Catalog
+	pool  *storage.BufferPool
+	store *object.Store
+	exec  *exec.Executor
+	auth  *authz.Authorizer
+
+	closed bool
+
+	def         *Session     // default session backing DB.Exec/Query
+	nextSession atomic.Int64 // session id allocator (default session is 0)
 
 	metrics *metrics.Registry
 	// Pre-resolved hot-path metric handles (one atomic add each, no
-	// registry lookup on the statement path).
+	// registry lookup on the statement path). Histograms and counters
+	// are internally atomic: safe to observe from concurrent readers.
 	hParse, hCheck, hPlan, hExecute, hStmt *metrics.Histogram
 	cRows, cErrors                         *metrics.Counter
 
 	// Slow-query log: a ring buffer of the last slowCap statements that
-	// exceeded slowThreshold. Guarded by mu.
+	// exceeded slowThreshold. Guarded by slowMu — its own lock, not the
+	// statement lock, because concurrent readers finish statements
+	// concurrently and each may need to append an entry.
+	slowMu        sync.Mutex
 	slowThreshold time.Duration
 	slowCap       int
 	slow          []SlowQuery
@@ -152,17 +178,14 @@ func Open(opts ...Option) (*DB, error) {
 	cat := catalog.New(reg)
 	pool := storage.NewBufferPool(ps, cfg.poolPages)
 	store := object.New(pool, cat)
-	session := sema.NewSession()
 	mreg := metrics.NewRegistry()
 	db := &DB{
-		reg:     reg,
-		cat:     cat,
-		pool:    pool,
-		store:   store,
-		session: session,
-		exec:    exec.New(store, cat, session),
-		auth:    authz.New(),
-		user:    "dba",
+		reg:   reg,
+		cat:   cat,
+		pool:  pool,
+		store: store,
+		exec:  exec.New(store, cat),
+		auth:  authz.New(),
 
 		metrics:  mreg,
 		hParse:   mreg.Histogram("phase.parse"),
@@ -177,6 +200,7 @@ func Open(opts ...Option) (*DB, error) {
 		slowCap:       cfg.slowCap,
 	}
 	db.exec.SetMetrics(mreg)
+	db.def = &Session{db: db, id: 0, user: "dba", sem: sema.NewSession()}
 	return db, nil
 }
 
@@ -203,14 +227,16 @@ func (db *DB) Registry() *adt.Registry { return db.reg }
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // SetOptimizer configures query optimization (benchmarks use this to
-// compare optimized and naive plans).
+// compare optimized and naive plans). It takes the exclusive statement
+// lock so options never change under a running statement.
 func (db *DB) SetOptimizer(o OptimizerOptions) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.exec.SetOptions(o)
 }
 
-// PoolStats returns buffer pool counters.
+// PoolStats returns buffer pool counters: one atomic load per counter,
+// safe to sample while statements run.
 func (db *DB) PoolStats() PoolStats { return db.pool.Stats() }
 
 // ResetPoolStats zeroes buffer pool counters.
@@ -224,10 +250,15 @@ func (db *DB) Metrics() *Metrics { return db.metrics }
 
 // MetricsSnapshot copies the registry and merges in the buffer pool
 // counters (pool.hits, pool.misses, pool.evictions, pool.flushes,
-// pool.writebacks), giving one coherent observability document.
+// pool.writebacks), giving one coherent observability document. Every
+// counter in the snapshot is a single atomic read of a monotonic
+// value — sampling mid-statement never observes a torn or decreasing
+// counter, and two snapshots bracket the traffic between them. The
+// pool counters are sampled first, so pool.hits+pool.misses can only
+// lag (never lead) the statement counters taken in the same pass.
 func (db *DB) MetricsSnapshot() MetricsSnapshot {
-	s := db.metrics.Snapshot()
 	ps := db.pool.Stats()
+	s := db.metrics.Snapshot()
 	s.Counters["pool.hits"] = ps.Hits
 	s.Counters["pool.misses"] = ps.Misses
 	s.Counters["pool.evictions"] = ps.Evictions
@@ -237,9 +268,10 @@ func (db *DB) MetricsSnapshot() MetricsSnapshot {
 }
 
 // SlowQuery is one slow-query log entry: the statement source with its
-// phase breakdown and result size.
+// phase breakdown, result size and the session that ran it.
 type SlowQuery struct {
 	Src     string        `json:"src"`
+	Session int64         `json:"session"`
 	When    time.Time     `json:"when"`
 	Total   time.Duration `json:"total_ns"`
 	Parse   time.Duration `json:"parse_ns"`
@@ -251,8 +283,8 @@ type SlowQuery struct {
 
 // SlowQueries returns the retained slow statements, oldest first.
 func (db *DB) SlowQueries() []SlowQuery {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
 	out := make([]SlowQuery, 0, len(db.slow))
 	if len(db.slow) == db.slowCap {
 		out = append(out, db.slow[db.slowNext:]...)
@@ -265,8 +297,8 @@ func (db *DB) SlowQueries() []SlowQuery {
 // SetSlowQueryThreshold adjusts the slow-query threshold at run time;
 // 0 disables logging.
 func (db *DB) SetSlowQueryThreshold(d time.Duration) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
 	db.slowThreshold = d
 }
 
@@ -278,8 +310,11 @@ type stmtTrace struct {
 }
 
 // finishTrace records one finished Exec/Query call into the registry
-// and, when over threshold, the slow-query log. Caller holds db.mu.
-func (db *DB) finishTrace(src string, parse time.Duration, tr *stmtTrace, start time.Time) {
+// and, when over threshold, the slow-query log with the running
+// session's id. The histograms are atomic; only the slow-query ring
+// needs its lock, so concurrent readers finishing simultaneously
+// contend only on that.
+func (db *DB) finishTrace(s *Session, src string, parse time.Duration, tr *stmtTrace, start time.Time) {
 	total := time.Since(start)
 	db.hParse.Observe(parse)
 	db.hCheck.Observe(tr.check)
@@ -287,9 +322,11 @@ func (db *DB) finishTrace(src string, parse time.Duration, tr *stmtTrace, start 
 	db.hExecute.Observe(tr.execute)
 	db.hStmt.Observe(total)
 	db.cRows.Add(uint64(tr.rows))
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
 	if db.slowThreshold > 0 && total >= db.slowThreshold {
 		entry := SlowQuery{
-			Src: src, When: time.Now(), Total: total,
+			Src: src, Session: s.id, When: time.Now(), Total: total,
 			Parse: parse, Check: tr.check, Plan: tr.plan, Execute: tr.execute,
 			Rows: tr.rows,
 		}
@@ -303,286 +340,20 @@ func (db *DB) finishTrace(src string, parse time.Duration, tr *stmtTrace, start 
 	}
 }
 
-// Exec parses and runs one or more EXCESS statements, returning the
-// result of the last retrieve (nil if none).
-func (db *DB) Exec(src string) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, errDBClosed
-	}
-	start := time.Now()
-	stmts, err := parse.Statements(src, db.reg)
-	parseDur := time.Since(start)
-	if err != nil {
-		db.cErrors.Inc()
-		return nil, err
-	}
-	var tr stmtTrace
-	var last *Result
-	for _, st := range stmts {
-		r, err := db.runStmt(st, nil, &tr)
-		if err != nil {
-			db.cErrors.Inc()
-			return nil, err
-		}
-		if r != nil {
-			last = r
-		}
-	}
-	if last != nil {
-		tr.rows = len(last.Rows)
-	}
-	db.finishTrace(src, parseDur, &tr, start)
-	return last, nil
-}
+// Exec parses and runs one or more EXCESS statements on the default
+// session, returning the result of the last retrieve (nil if none).
+func (db *DB) Exec(src string) (*Result, error) { return db.def.Exec(src) }
 
 // Query is Exec for a single retrieve; it errors when the source is not
-// exactly one retrieve statement.
-func (db *DB) Query(src string) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, errDBClosed
-	}
-	start := time.Now()
-	st, err := parse.One(src, db.reg)
-	parseDur := time.Since(start)
-	if err != nil {
-		db.cErrors.Inc()
-		return nil, err
-	}
-	r, ok := st.(*ast.Retrieve)
-	if !ok {
-		db.cErrors.Inc()
-		return nil, fmt.Errorf("query: %w (use Exec for updates and DDL)", ErrNotRetrieve)
-	}
-	var tr stmtTrace
-	res, err := db.runStmt(r, nil, &tr)
-	if err != nil {
-		db.cErrors.Inc()
-		return nil, err
-	}
-	if res != nil {
-		tr.rows = len(res.Rows)
-	}
-	db.finishTrace(src, parseDur, &tr, start)
-	return res, nil
-}
+// exactly one retrieve statement. Retrieves without an into clause run
+// under the shared statement lock, concurrently with other readers.
+func (db *DB) Query(src string) (*Result, error) { return db.def.Query(src) }
 
 // MustExec runs statements and panics on error; for examples and tests.
-func (db *DB) MustExec(src string) *Result {
-	r, err := db.Exec(src)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
+func (db *DB) MustExec(src string) *Result { return db.def.MustExec(src) }
 
 // MustQuery runs a retrieve and panics on error.
-func (db *DB) MustQuery(src string) *Result {
-	r, err := db.Query(src)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
-// runStmt dispatches one statement. params provides the parameter scope
-// when executing procedure bodies; tr (optional) accumulates phase
-// durations for the statement-level trace. Callers hold db.mu.
-func (db *DB) runStmt(st ast.Statement, params *paramScope, tr *stmtTrace) (*Result, error) {
-	db.metrics.Counter("stmt." + stmtKind(st)).Inc()
-	if tr != nil {
-		// Non-retrieve statements do not split phases; their whole cost
-		// lands in the execute phase. Retrieves are timed per phase in
-		// their case below.
-		if _, isRet := st.(*ast.Retrieve); !isRet {
-			t0 := time.Now()
-			defer func() { tr.execute += time.Since(t0) }()
-		}
-	}
-	switch s := st.(type) {
-	case *ast.DefineType:
-		_, err := db.cat.DefineTupleFromAST(s)
-		if err == nil {
-			db.auth.SetOwner(s.Name, db.user)
-		}
-		return nil, err
-	case *ast.DefineEnum:
-		return nil, db.cat.DefineEnum(&types.Enum{Name: s.Name, Labels: s.Labels})
-	case *ast.Create:
-		comp, err := db.cat.ResolveComponent(s.Comp)
-		if err != nil {
-			return nil, err
-		}
-		v, err := db.cat.CreateVar(s.Name, comp)
-		if err != nil {
-			return nil, err
-		}
-		if err := db.store.InitVar(v); err != nil {
-			return nil, err
-		}
-		for i, key := range s.Keys {
-			if _, err := db.store.BuildKey(s.Name, key, i); err != nil {
-				return nil, err
-			}
-		}
-		db.auth.SetOwner(s.Name, db.user)
-		return nil, nil
-	case *ast.Drop:
-		if err := db.auth.Check(db.user, s.Name, authz.Update); err != nil {
-			return nil, err
-		}
-		v, ok := db.cat.Var(s.Name)
-		if !ok {
-			return nil, fmt.Errorf("no database variable %s", s.Name)
-		}
-		if err := db.store.DropVar(v); err != nil {
-			return nil, err
-		}
-		return nil, db.cat.DropVar(s.Name)
-	case *ast.DefineFunction:
-		_, err := sema.BuildFunction(db.cat, db.session, s)
-		return nil, err
-	case *ast.DefineProcedure:
-		p, err := sema.BuildProcedure(db.cat, s)
-		if err != nil {
-			return nil, err
-		}
-		p.Owner = db.user
-		return nil, db.cat.DefineProcedure(p)
-	case *ast.DefineIndex:
-		_, err := db.store.BuildIndex(s.Name, s.Extent, s.Path, s.Unique)
-		return nil, err
-	case *ast.RangeDecl:
-		// Validate eagerly so "range of E is Nonexistent" fails here.
-		probe := sema.NewChecker(db.cat, sema.NewSession(), params.typesOrNil())
-		if _, err := probe.ProbeRange(s); err != nil {
-			return nil, err
-		}
-		db.session.Declare(s)
-		return nil, nil
-	case *ast.Grant:
-		return nil, db.auth.Grant(db.user, s.Priv, s.On, s.To)
-	case *ast.Revoke:
-		return nil, db.auth.Revoke(db.user, s.Priv, s.On, s.From)
-	case *ast.Retrieve:
-		ck := db.checker(params)
-		t0 := time.Now()
-		cq, err := ck.CheckRetrieve(s)
-		if tr != nil {
-			tr.check += time.Since(t0)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := db.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
-			return nil, err
-		}
-		t0 = time.Now()
-		plan := db.exec.Plan(cq.Query)
-		if tr != nil {
-			tr.plan += time.Since(t0)
-		}
-		t0 = time.Now()
-		res, err := db.withParams(params, func() (*Result, error) {
-			return db.exec.RetrievePlan(cq, plan)
-		})
-		if tr != nil {
-			tr.execute += time.Since(t0)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if cq.Into != "" {
-			db.auth.SetOwner(cq.Into, db.user)
-		}
-		return res, nil
-	case *ast.Append:
-		ck := db.checker(params)
-		ca, err := ck.CheckAppend(s)
-		if err != nil {
-			return nil, err
-		}
-		wr := ca.Extent
-		if wr == "" {
-			wr = ca.OwnerVar
-		}
-		if err := db.authQuery(ca.Query, []string{wr}); err != nil {
-			return nil, err
-		}
-		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Append(ca) })
-		return nil, err
-	case *ast.Delete:
-		ck := db.checker(params)
-		cd, err := ck.CheckDelete(s)
-		if err != nil {
-			return nil, err
-		}
-		if err := db.authQuery(cd.Query, []string{cd.Var.Extent}); err != nil {
-			return nil, err
-		}
-		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Delete(cd) })
-		return nil, err
-	case *ast.Replace:
-		ck := db.checker(params)
-		cr, err := ck.CheckReplace(s)
-		if err != nil {
-			return nil, err
-		}
-		if err := db.authQuery(cr.Query, []string{cr.Var.Extent}); err != nil {
-			return nil, err
-		}
-		_, err = db.withParamsN(params, func() (int, error) { return db.exec.Replace(cr) })
-		return nil, err
-	case *ast.SetStmt:
-		ck := db.checker(params)
-		cs, err := ck.CheckSet(s)
-		if err != nil {
-			return nil, err
-		}
-		if err := db.authQuery(cs.Query, []string{cs.VarName}); err != nil {
-			return nil, err
-		}
-		_, err = db.withParams(params, func() (*Result, error) { return nil, db.exec.Set(cs) })
-		return nil, err
-	case *ast.Execute:
-		return nil, db.runExecute(s, params)
-	}
-	return nil, fmt.Errorf("unhandled statement %T", st)
-}
-
-// stmtKind names a statement for the per-kind metric counters
-// (stmt.retrieve, stmt.append, ...).
-func stmtKind(st ast.Statement) string {
-	switch st.(type) {
-	case *ast.Retrieve:
-		return "retrieve"
-	case *ast.Append:
-		return "append"
-	case *ast.Delete:
-		return "delete"
-	case *ast.Replace:
-		return "replace"
-	case *ast.SetStmt:
-		return "set"
-	case *ast.Execute:
-		return "execute"
-	case *ast.DefineType, *ast.DefineEnum, *ast.DefineFunction,
-		*ast.DefineProcedure, *ast.DefineIndex:
-		return "define"
-	case *ast.Create:
-		return "create"
-	case *ast.Drop:
-		return "drop"
-	case *ast.RangeDecl:
-		return "range"
-	case *ast.Grant, *ast.Revoke:
-		return "grant"
-	}
-	return "other"
-}
+func (db *DB) MustQuery(src string) *Result { return db.def.MustQuery(src) }
 
 // targetExprs collects the bound target expressions of a retrieve (for
 // authorization walks).
@@ -608,114 +379,12 @@ func (p *paramScope) typesOrNil() map[string]types.Type {
 	return p.types
 }
 
-func (db *DB) checker(params *paramScope) *sema.Checker {
-	return sema.NewChecker(db.cat, db.session, params.typesOrNil())
-}
-
-// withParams runs fn with the procedure parameter frame installed.
-func (db *DB) withParams(params *paramScope, fn func() (*Result, error)) (*Result, error) {
-	if params != nil {
-		db.exec.PushParams(params.values)
-		defer db.exec.PopParams()
-	}
-	return fn()
-}
-
-func (db *DB) withParamsN(params *paramScope, fn func() (int, error)) (int, error) {
-	if params != nil {
-		db.exec.PushParams(params.values)
-		defer db.exec.PopParams()
-	}
-	return fn()
-}
-
-// runExecute evaluates a procedure invocation: the body runs once per
-// binding of the from/where clause with arguments as parameters.
-func (db *DB) runExecute(s *ast.Execute, params *paramScope) error {
-	ck := db.checker(params)
-	ce, err := ck.CheckExecute(s)
-	if err != nil {
-		return err
-	}
-	if err := db.authQuery(ce.Query, nil); err != nil {
-		return err
-	}
-	ptypes := make(map[string]types.Type, len(ce.Proc.Params))
-	for _, p := range ce.Proc.Params {
-		ptypes[p.Name] = p.Type
-	}
-	// Definer rights: the body runs with the owner's privileges, so a
-	// procedure can encapsulate updates its caller could not perform
-	// directly (the IDM stored-command pattern the paper builds data
-	// abstraction from).
-	caller := db.user
-	if ce.Proc.Owner != "" {
-		db.user = ce.Proc.Owner
-	}
-	defer func() { db.user = caller }()
-	_, err = db.withParamsN(params, func() (int, error) {
-		return db.exec.Execute(ce, func(frame map[string]value.Value) error {
-			scope := &paramScope{types: ptypes, values: frame}
-			for _, bodyStmt := range ce.Proc.Body {
-				// Body statements run untraced: their cost is already
-				// inside the invoking execute's span.
-				if _, err := db.runStmt(bodyStmt, scope, nil); err != nil {
-					return fmt.Errorf("procedure %s: %w", ce.Proc.Name, err)
-				}
-			}
-			return nil
-		})
-	})
-	return err
-}
-
-// authQuery enforces select on every extent and database variable a
-// query reads (range sources, whole-extent aggregates, variable reads in
-// any expression) and update on the write targets. Reads inside EXCESS
-// function bodies are deliberately exempt — that exemption is the data
-// abstraction mechanism of §4.2.3.
-func (db *DB) authQuery(q sema.Query, writes []string, exprs ...sema.Expr) error {
-	reads := map[string]bool{}
-	for _, v := range q.Vars {
-		if v.Extent != "" {
-			reads[v.Extent] = true
-		}
-	}
-	collect := func(e sema.Expr) {
-		sema.WalkExpr(e, func(x sema.Expr) {
-			switch r := x.(type) {
-			case *sema.DBVarRead:
-				reads[r.Name] = true
-			case *sema.ExtentSet:
-				reads[r.Name] = true
-			}
-		})
-	}
-	collect(q.Where)
-	for _, e := range exprs {
-		collect(e)
-	}
-	for name := range reads {
-		if err := db.auth.Check(db.user, name, authz.Select); err != nil {
-			return err
-		}
-	}
-	for _, w := range writes {
-		if w == "" {
-			continue
-		}
-		if err := db.auth.Check(db.user, w, authz.Update); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // CheckConsistency runs the object store's structural fsck: ownership
 // symmetry, extent maps, index completeness and uniqueness. It returns
-// the violations found (nil means consistent).
+// the violations found (nil means consistent). It reads under the
+// shared statement lock.
 func (db *DB) CheckConsistency() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.store.CheckConsistency()
 }

@@ -1,0 +1,46 @@
+package sema
+
+import "repro/internal/excess/ast"
+
+// KindOf names a statement for per-kind accounting (the database
+// layer's stmt.retrieve, stmt.append, ... metric counters).
+func KindOf(st ast.Statement) string {
+	switch st.(type) {
+	case *ast.Retrieve:
+		return "retrieve"
+	case *ast.Append:
+		return "append"
+	case *ast.Delete:
+		return "delete"
+	case *ast.Replace:
+		return "replace"
+	case *ast.SetStmt:
+		return "set"
+	case *ast.Execute:
+		return "execute"
+	case *ast.DefineType, *ast.DefineEnum, *ast.DefineFunction,
+		*ast.DefineProcedure, *ast.DefineIndex:
+		return "define"
+	case *ast.Create:
+		return "create"
+	case *ast.Drop:
+		return "drop"
+	case *ast.RangeDecl:
+		return "range"
+	case *ast.Grant, *ast.Revoke:
+		return "grant"
+	}
+	return "other"
+}
+
+// ReadOnly reports whether a statement only reads engine state, which
+// is what lets the database layer run it under the shared side of its
+// readers-writer statement lock. Only a retrieve without an into clause
+// qualifies: retrieve into materializes a new database variable, the
+// QUEL update statements and DDL mutate the store or catalog, a range
+// declaration writes the session's range table, grant/revoke write the
+// authorization tables, and execute runs an arbitrary procedure body.
+func ReadOnly(st ast.Statement) bool {
+	r, ok := st.(*ast.Retrieve)
+	return ok && r.Into == ""
+}

@@ -12,7 +12,7 @@ import (
 // evalFuncCall invokes an EXCESS function. Late functions re-dispatch on
 // the runtime type of the first argument (the paper's virtual-function
 // distinction); early functions run the statically chosen definition.
-func (ex *Executor) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, error) {
+func (ex *State) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, error) {
 	args := make([]value.Value, len(c.Args))
 	for i, a := range c.Args {
 		v, err := ex.eval(ctx, a)
@@ -50,7 +50,7 @@ func (ex *Executor) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, e
 // callFunction evaluates a function body with the arguments bound as
 // parameters. Bodies are stored as AST (stored-command style) and bound
 // against the current catalog on each call.
-func (ex *Executor) callFunction(fn *catalog.Function, args []value.Value) (value.Value, error) {
+func (ex *State) callFunction(fn *catalog.Function, args []value.Value) (value.Value, error) {
 	if ex.depth >= maxCallDepth {
 		return nil, fmt.Errorf("function %s: call depth %d exceeded (recursive derived data?)", fn.Name, maxCallDepth)
 	}
@@ -114,8 +114,14 @@ func (ex *Executor) callFunction(fn *catalog.Function, args []value.Value) (valu
 }
 
 // bindBody returns the memoized bound body of a function, binding it on
-// first use.
+// first use. The cache lives on the shared engine core, so concurrent
+// statements calling the same function reuse one bound body; fnMu is
+// held across binding (binding is pure checker work over the immutable
+// catalog), which serializes first calls but keeps the cache free of
+// duplicate entries.
 func (ex *Executor) bindBody(fn *catalog.Function, paramTypes map[string]types.Type) (*boundBody, error) {
+	ex.fnMu.Lock()
+	defer ex.fnMu.Unlock()
 	if b, ok := ex.fnCache[fn]; ok {
 		return b, nil
 	}
@@ -142,7 +148,7 @@ func (ex *Executor) bindBody(fn *catalog.Function, paramTypes map[string]types.T
 // collection computed for the current binding (count(E.kids),
 // avg(Employees.salary)). Query-level aggregates are computed by the
 // grouped retrieve path and delivered through ctx.aggVals.
-func (ex *Executor) evalAgg(ctx *evalCtx, a *sema.Agg) (value.Value, error) {
+func (ex *State) evalAgg(ctx *evalCtx, a *sema.Agg) (value.Value, error) {
 	if !a.SetArg {
 		if ctx.aggVals != nil {
 			if v, ok := ctx.aggVals[a]; ok {

@@ -28,7 +28,7 @@ type cachedExtent struct {
 
 // ensureCache flushes the cache when the store has mutated since it was
 // populated (any insert/update/delete/variable write bumps the version).
-func (ex *Executor) ensureCache() {
+func (ex *State) ensureCache() {
 	ver := ex.store.Version()
 	if ex.derefCache == nil {
 		ex.derefCache = make(map[oid.OID]*value.Tuple)
@@ -44,7 +44,7 @@ func (ex *Executor) ensureCache() {
 }
 
 // derefGet is store.Get behind the cache.
-func (ex *Executor) derefGet(id oid.OID) (*value.Tuple, bool, error) {
+func (ex *State) derefGet(id oid.OID) (*value.Tuple, bool, error) {
 	if ex.opts.NoDerefCache {
 		return ex.store.Get(id)
 	}
@@ -76,7 +76,7 @@ func (ex *Executor) derefGet(id oid.OID) (*value.Tuple, bool, error) {
 // been scanned whole at the current version, later scans (an inner
 // extent rescanned per outer binding, or a repeated query) iterate the
 // retained slice directly.
-func (ex *Executor) scanExtentCached(extent string, fn func(id oid.OID, tv *value.Tuple) error) error {
+func (ex *State) scanExtentCached(extent string, fn func(id oid.OID, tv *value.Tuple) error) error {
 	ex.ensureCache()
 	if ce := ex.extentCache[extent]; ce != nil {
 		ex.derefHits += int64(len(ce.ids))
@@ -115,6 +115,6 @@ func (ex *Executor) scanExtentCached(extent string, fn func(id oid.OID, tv *valu
 
 // DerefCacheStats returns the lifetime hit/miss counts of the deref
 // cache (for tests and diagnostics).
-func (ex *Executor) DerefCacheStats() (hits, misses int64) {
+func (ex *State) DerefCacheStats() (hits, misses int64) {
 	return ex.derefHits, ex.derefMisses
 }

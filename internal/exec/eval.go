@@ -15,7 +15,7 @@ const maxCallDepth = 64
 // eval evaluates a bound expression in the given context. Nulls
 // propagate: any operation over null yields null (and predicates treat
 // null as false).
-func (ex *Executor) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
+func (ex *State) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
 	switch x := e.(type) {
 	case *sema.Const:
 		return x.Val, nil
@@ -66,7 +66,7 @@ func (ex *Executor) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
 
 // materializeExtent builds a set value of the extent's members (objects
 // as Objects, elements as values) for whole-extent aggregation.
-func (ex *Executor) materializeExtent(name string) (value.Value, error) {
+func (ex *State) materializeExtent(name string) (value.Value, error) {
 	s := &value.Set{}
 	if ex.store.IsObjectExtent(name) {
 		err := ex.store.ScanExtent(name, func(id oidpkg.OID, tv *value.Tuple) error {
@@ -95,7 +95,7 @@ func (ex *Executor) materializeExtent(name string) (value.Value, error) {
 
 // evalPath walks the bound path steps with implicit dereferencing and
 // multi-valued traversal.
-func (ex *Executor) evalPath(ctx *evalCtx, p *sema.PathExpr) (value.Value, error) {
+func (ex *State) evalPath(ctx *evalCtx, p *sema.PathExpr) (value.Value, error) {
 	cur, err := ex.eval(ctx, p.Base)
 	if err != nil {
 		return nil, err
@@ -115,7 +115,7 @@ func (ex *Executor) evalPath(ctx *evalCtx, p *sema.PathExpr) (value.Value, error
 
 // applyStep applies one step, mapping over collections (multi-valued
 // path semantics: stepping through a set maps and flattens one level).
-func (ex *Executor) applyStep(ctx *evalCtx, cur value.Value, multi bool, st sema.Step) (value.Value, bool, error) {
+func (ex *State) applyStep(ctx *evalCtx, cur value.Value, multi bool, st sema.Step) (value.Value, bool, error) {
 	if value.IsNull(cur) {
 		return value.Null{}, multi, nil
 	}
@@ -144,7 +144,7 @@ func (ex *Executor) applyStep(ctx *evalCtx, cur value.Value, multi bool, st sema
 	return nv, multi, err
 }
 
-func (ex *Executor) evalUnary(ctx *evalCtx, u *sema.Unary) (value.Value, error) {
+func (ex *State) evalUnary(ctx *evalCtx, u *sema.Unary) (value.Value, error) {
 	v, err := ex.eval(ctx, u.X)
 	if err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func deobject(v value.Value) value.Value {
 	return v
 }
 
-func (ex *Executor) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
+func (ex *State) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
 	// Short-circuit logic first.
 	if b.Class == sema.OpLogic {
 		l, err := ex.eval(ctx, b.L)
@@ -346,7 +346,7 @@ type oidOf = oidpkg.OID
 // liveOID extracts the identity of a value for is/isnot: a dangling
 // reference (its object has been deleted) reads as null, the GEM-style
 // referential behaviour.
-func (ex *Executor) liveOID(v value.Value) (oidOf, bool) {
+func (ex *State) liveOID(v value.Value) (oidOf, bool) {
 	id, ok := value.OIDOf(v)
 	if !ok {
 		return 0, false
@@ -419,7 +419,7 @@ func arith(op string, l, r value.Value) (value.Value, error) {
 	return nil, fmt.Errorf("unhandled arithmetic %s", op)
 }
 
-func (ex *Executor) evalADTCall(ctx *evalCtx, c *sema.ADTCall) (value.Value, error) {
+func (ex *State) evalADTCall(ctx *evalCtx, c *sema.ADTCall) (value.Value, error) {
 	args := make([]value.Value, len(c.Args))
 	for i, a := range c.Args {
 		v, err := ex.eval(ctx, a)
@@ -434,7 +434,7 @@ func (ex *Executor) evalADTCall(ctx *evalCtx, c *sema.ADTCall) (value.Value, err
 	return c.Fn.Impl(args)
 }
 
-func (ex *Executor) evalTupleCtor(ctx *evalCtx, t *sema.TupleCtor) (value.Value, error) {
+func (ex *State) evalTupleCtor(ctx *evalCtx, t *sema.TupleCtor) (value.Value, error) {
 	tv := value.NewTuple(t.TT)
 	for _, f := range t.Fields {
 		v, err := ex.eval(ctx, f.Expr)
@@ -456,7 +456,7 @@ func (ex *Executor) evalTupleCtor(ctx *evalCtx, t *sema.TupleCtor) (value.Value,
 // slot, its own-ref components are materialized as fresh embedded copies
 // (composite value semantics — copying the parent copies the components;
 // sharing them would violate exclusivity).
-func (ex *Executor) coerce(v value.Value, comp types.Component) (value.Value, error) {
+func (ex *State) coerce(v value.Value, comp types.Component) (value.Value, error) {
 	out := coerceTo(v, comp)
 	if _, wasObj := v.(value.Object); wasObj && comp.Mode == types.Own {
 		return ex.ownCopy(comp, out)
@@ -467,7 +467,7 @@ func (ex *Executor) coerce(v value.Value, comp types.Component) (value.Value, er
 // ownCopy recursively replaces own-ref references inside an owned value
 // with embedded copies of their targets, so that storing the value
 // creates fresh component objects instead of claiming the originals.
-func (ex *Executor) ownCopy(comp types.Component, v value.Value) (value.Value, error) {
+func (ex *State) ownCopy(comp types.Component, v value.Value) (value.Value, error) {
 	if value.IsNull(v) {
 		return value.Null{}, nil
 	}

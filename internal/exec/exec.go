@@ -9,6 +9,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -21,23 +23,51 @@ import (
 	"repro/internal/value"
 )
 
-// Executor runs checked statements. One Executor serves a database; it
-// is not safe for concurrent statements (the database layer serializes).
+// Executor is the immutable engine core shared by every session: the
+// object store, the catalog, the optimizer options and the memoized
+// bound-function cache (under its own lock). One Executor serves a
+// database and is safe for concurrent statements — all per-statement
+// mutable state (parameter frames, call depth, deref/extent caches,
+// runtime stats) lives in a State, one per executing statement
+// (NewState). Any number of read statements may run simultaneously,
+// each through its own State; the database layer excludes writers from
+// readers with its readers-writer statement lock.
 type Executor struct {
-	store   *object.Store
-	cat     *catalog.Catalog
-	session *sema.Session
-	opts    algebra.Options
+	store *object.Store
+	cat   *catalog.Catalog
 
-	params []map[string]value.Value // function/procedure parameter frames
-	depth  int
+	// opts is written only through SetOptions, which the database layer
+	// calls under its exclusive statement lock; statements read it.
+	opts algebra.Options
 
 	// fnCache memoizes bound function bodies: bodies are stored as AST
 	// (stored-command style) and bind against the catalog on first call
 	// rather than on every call. The catalog's schema objects are
 	// immutable once defined, so a bound body stays valid; a dropped
-	// extent surfaces as the same error either way.
+	// extent surfaces as the same error either way. Guarded by fnMu —
+	// the only engine-core lock; bound bodies themselves are immutable
+	// after insertion and are shared freely between statements.
+	fnMu    sync.Mutex
 	fnCache map[*catalog.Function]*boundBody
+
+	statsMisses atomic.Int64 // cardinality-estimate fallbacks (planning)
+
+	// Optional metrics handles (nil when no registry is attached).
+	cStatsMiss, cDerefHit, cDerefMiss *metrics.Counter
+	cHashBuilds, cHashBuildRows       *metrics.Counter
+	cHashProbes, cHashHits            *metrics.Counter
+}
+
+// State is the mutable per-statement execution state: parameter frames,
+// call depth and the deref/extent memoization caches with their hit
+// counters. A State is not safe for concurrent use, but any number of
+// States may run concurrently over one Executor — the engine core is
+// reached through the embedded pointer.
+type State struct {
+	*Executor
+
+	params []map[string]value.Value // function/procedure parameter frames
+	depth  int
 
 	// derefCache memoizes object fetches (OID → decoded tuple) so implicit
 	// joins repeated across thousands of bindings — E.dept.floor for every
@@ -45,18 +75,14 @@ type Executor struct {
 	// of once per binding. The cache is valid for one store version: any
 	// mutation bumps store.Version() and the next lookup flushes. Cached
 	// tuples are shared; every consumer treats fetched values as read-only
-	// (update statements re-fetch through store.Get directly).
+	// (update statements re-fetch through store.Get directly). The cache
+	// is statement-local: concurrent statements never share one, which is
+	// what makes populating it lock-free.
 	derefCache   map[oid.OID]*value.Tuple
 	extentCache  map[string]*cachedExtent // extents fully scanned at derefVersion
 	derefVersion uint64
 	derefHits    int64
 	derefMisses  int64
-	statsMisses  int64
-
-	// Optional metrics handles (nil when no registry is attached).
-	cStatsMiss, cDerefHit, cDerefMiss *metrics.Counter
-	cHashBuilds, cHashBuildRows       *metrics.Counter
-	cHashProbes, cHashHits            *metrics.Counter
 }
 
 // boundBody is a memoized function body.
@@ -66,17 +92,23 @@ type boundBody struct {
 }
 
 // New returns an executor over the store and catalog.
-func New(store *object.Store, cat *catalog.Catalog, session *sema.Session) *Executor {
+func New(store *object.Store, cat *catalog.Catalog) *Executor {
 	return &Executor{
 		store:   store,
 		cat:     cat,
-		session: session,
 		fnCache: make(map[*catalog.Function]*boundBody),
 	}
 }
 
+// NewState returns a fresh per-statement execution state over the
+// engine core.
+func (ex *Executor) NewState() *State {
+	return &State{Executor: ex}
+}
+
 // SetOptions configures the optimizer (used by the benchmarks to compare
-// optimized and naive plans).
+// optimized and naive plans). It must not race with running statements;
+// the database layer calls it under its exclusive statement lock.
 func (ex *Executor) SetOptions(o algebra.Options) { ex.opts = o }
 
 // Options returns the current optimizer options.
@@ -106,7 +138,7 @@ func (ex *Executor) EstimateLen(extent string) int {
 	if n, err := ex.store.ElemLen(extent); err == nil {
 		return n
 	}
-	ex.statsMisses++
+	ex.statsMisses.Add(1)
 	if ex.cStatsMiss != nil {
 		ex.cStatsMiss.Inc()
 	}
@@ -115,7 +147,7 @@ func (ex *Executor) EstimateLen(extent string) int {
 
 // StatsMisses returns how many cardinality estimates fell back to the
 // default since the executor was created.
-func (ex *Executor) StatsMisses() int64 { return ex.statsMisses }
+func (ex *Executor) StatsMisses() int64 { return ex.statsMisses.Load() }
 
 // prov records where a binding's value lives, for update statements.
 type prov struct {
@@ -170,7 +202,7 @@ type evalCtx struct {
 // surviving binding. When the plan carries a Runtime accumulator
 // (EXPLAIN ANALYZE), per-operator actuals are recorded as a side
 // effect; uninstrumented plans take the untraced path.
-func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
+func (ex *State) Run(p *algebra.Plan, yield func(*binding) error) error {
 	b := newBinding()
 	rt := p.Runtime
 	rs := &runState{}
@@ -221,7 +253,7 @@ func (ex *Executor) Run(p *algebra.Plan, yield func(*binding) error) error {
 	return err
 }
 
-func (ex *Executor) passAll(b *binding, conjs []sema.Expr) (bool, error) {
+func (ex *State) passAll(b *binding, conjs []sema.Expr) (bool, error) {
 	ctx := &evalCtx{b: b}
 	for _, cj := range conjs {
 		v, err := ex.eval(ctx, cj)
@@ -237,7 +269,7 @@ func (ex *Executor) passAll(b *binding, conjs []sema.Expr) (bool, error) {
 
 // runNode binds plan node i for every element of its source, recursing
 // to the next node.
-func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
+func (ex *State) runNode(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
 	if i >= len(p.Nodes) {
 		return yield(b)
 	}
@@ -262,7 +294,7 @@ func (ex *Executor) runNode(p *algebra.Plan, i int, b *binding, rs *runState, yi
 // runNodeTraced is runNode with actuals collection: loops, rows in/out,
 // self time (child time subtracted) and buffer-pool traffic attributed
 // to this node's fetches and filter evaluation.
-func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
+func (ex *State) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runState, yield func(*binding) error) error {
 	n := &p.Nodes[i]
 	rt := &p.Runtime.Nodes[i]
 	rt.Loops++
@@ -302,7 +334,7 @@ func (ex *Executor) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runSta
 // enumerate produces the bindings of one variable. rs may be nil (build
 // side of a hash join, universal quantification): then the node is
 // enumerated directly even if a hash path was selected.
-func (ex *Executor) enumerate(b *binding, n *algebra.Node, rs *runState, emit func(value.Value, prov) error) error {
+func (ex *State) enumerate(b *binding, n *algebra.Node, rs *runState, emit func(value.Value, prov) error) error {
 	v := n.Var
 	switch v.Kind {
 	case sema.VarExtent:
@@ -374,7 +406,7 @@ type collOwner struct {
 
 // nestStart resolves the starting value and initial owner for a nested
 // variable.
-func (ex *Executor) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, error) {
+func (ex *State) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, error) {
 	switch v.Kind {
 	case sema.VarNested:
 		pv, ok := b.vals[v.Parent]
@@ -411,7 +443,7 @@ func (ex *Executor) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, 
 // walkCollection walks the steps from start to the target collection,
 // dereferencing references (updating the owner as it crosses object
 // boundaries), then emits each element.
-func (ex *Executor) walkCollection(cur value.Value, owner collOwner, steps []sema.Step, emit func(value.Value, prov) error) error {
+func (ex *State) walkCollection(cur value.Value, owner collOwner, steps []sema.Step, emit func(value.Value, prov) error) error {
 	for si, st := range steps {
 		var err error
 		cur, owner, err = ex.stepOnce(cur, owner, st, nil)
@@ -474,7 +506,7 @@ func (ex *Executor) walkCollection(cur value.Value, owner collOwner, steps []sem
 // stepOnce applies one path step to a value, dereferencing a reference
 // first if needed and tracking the collection owner. ctx is needed only
 // when the step has an index expression.
-func (ex *Executor) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *evalCtx) (value.Value, collOwner, error) {
+func (ex *State) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *evalCtx) (value.Value, collOwner, error) {
 	if value.IsNull(cur) {
 		return value.Null{}, owner, nil
 	}
@@ -540,7 +572,7 @@ func elemsOf(v value.Value) ([]value.Value, bool) {
 // forAllHolds checks the universally quantified part of the predicate:
 // for every combination of bindings of the universal variables, all
 // conjuncts must hold.
-func (ex *Executor) forAllHolds(b *binding, uvars []*sema.Var, conjs []sema.Expr) (bool, error) {
+func (ex *State) forAllHolds(b *binding, uvars []*sema.Var, conjs []sema.Expr) (bool, error) {
 	if len(uvars) == 0 || len(conjs) == 0 {
 		return true, nil
 	}

@@ -58,7 +58,7 @@ const (
 //     trailing blanks because char[n] comparison ignores them and the
 //     stored padding is invisible to value.Equal;
 //   - everything else (tuples, collections, exotic ADTs) is unhashable.
-func (ex *Executor) joinKey(h *algebra.HashJoinPath, v value.Value) (string, int) {
+func (ex *State) joinKey(h *algebra.HashJoinPath, v value.Value) (string, int) {
 	if h.Ident {
 		id, ok := ex.liveOID(v)
 		if !ok {
@@ -98,7 +98,7 @@ func mentionsOnlyVar(e sema.Expr, v *sema.Var) bool {
 // pass over the node's source (scan or index probe), applying the filter
 // conjuncts local to the node's variable, keying each surviving row on
 // the build expression.
-func (ex *Executor) buildJoinTable(n *algebra.Node) (*joinTable, error) {
+func (ex *State) buildJoinTable(n *algebra.Node) (*joinTable, error) {
 	t := &joinTable{groups: make(map[string][]joinEntry)}
 	var local []sema.Expr
 	for _, f := range n.Filter {
@@ -150,7 +150,7 @@ func (ex *Executor) buildJoinTable(n *algebra.Node) (*joinTable, error) {
 // the probe key over the already-bound variables and emits the matching
 // build rows. The node's full filter (including the join conjunct) is
 // re-applied by the caller, so emitting a superset is safe.
-func (ex *Executor) hashProbe(b *binding, n *algebra.Node, rs *runState, emit func(value.Value, prov) error) error {
+func (ex *State) hashProbe(b *binding, n *algebra.Node, rs *runState, emit func(value.Value, prov) error) error {
 	t := rs.tables[n]
 	if t == nil {
 		var err error

@@ -77,14 +77,14 @@ func displayValue(v value.Value) string {
 // Retrieve runs a checked retrieve and returns its result set. When the
 // statement has an into clause, the result is also materialized as a new
 // database variable.
-func (ex *Executor) Retrieve(cq *sema.CheckedRetrieve) (*Result, error) {
+func (ex *State) Retrieve(cq *sema.CheckedRetrieve) (*Result, error) {
 	return ex.RetrievePlan(cq, ex.Plan(cq.Query))
 }
 
 // RetrievePlan runs a checked retrieve through an already-built plan —
 // the database layer uses it to time planning and execution separately
 // and to execute instrumented (EXPLAIN ANALYZE) plans.
-func (ex *Executor) RetrievePlan(cq *sema.CheckedRetrieve, plan *algebra.Plan) (*Result, error) {
+func (ex *State) RetrievePlan(cq *sema.CheckedRetrieve, plan *algebra.Plan) (*Result, error) {
 	res := &Result{}
 	for _, t := range cq.Targets {
 		res.Cols = append(res.Cols, t.Name)
@@ -135,7 +135,7 @@ type aggState struct {
 // the over-expression when one is given (the paper's mechanism for
 // aggregating one level of a complex object while partitioning on
 // another, which also subsumes QUEL's unique aggregates).
-func (ex *Executor) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan, res *Result) error {
+func (ex *State) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan, res *Result) error {
 	// Collect the distinct aggregate nodes of the target list.
 	var aggs []*sema.Agg
 	for _, t := range cq.Targets {
@@ -224,7 +224,7 @@ func (ex *Executor) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan
 }
 
 // groupKey renders the grouping values of the current binding.
-func (ex *Executor) groupKey(ctx *evalCtx, groups []sema.Expr) (string, error) {
+func (ex *State) groupKey(ctx *evalCtx, groups []sema.Expr) (string, error) {
 	if len(groups) == 0 {
 		return "", nil
 	}
@@ -255,7 +255,7 @@ func valueKey(v value.Value) string {
 // materializeInto stores a retrieve result as a fresh database variable:
 // a set of own tuples of a synthesized result type named "<Name>_t".
 // Object and reference columns are stored as references.
-func (ex *Executor) materializeInto(cq *sema.CheckedRetrieve, res *Result) error {
+func (ex *State) materializeInto(cq *sema.CheckedRetrieve, res *Result) error {
 	typeName := cq.Into + "_t"
 	var attrs []types.Attr
 	for i, t := range cq.Targets {

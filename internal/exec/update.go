@@ -13,7 +13,7 @@ import (
 // Append executes a checked append, returning the number of elements
 // appended (one per binding of the from/where clause; one when the
 // statement has no bindings).
-func (ex *Executor) Append(ca *sema.CheckedAppend) (int, error) {
+func (ex *State) Append(ca *sema.CheckedAppend) (int, error) {
 	type job struct {
 		elem  value.Value
 		owner prov // target location for nested appends
@@ -87,7 +87,7 @@ func (ex *Executor) Append(ca *sema.CheckedAppend) (int, error) {
 }
 
 // resolveOwner maps an owner expression value to its location.
-func (ex *Executor) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Value, collOwner, error) {
+func (ex *State) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Value, collOwner, error) {
 	if o, isObj := v.(value.Object); isObj {
 		return v, collOwner{oid: o.OID}, nil
 	}
@@ -106,7 +106,7 @@ func (ex *Executor) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.
 }
 
 // appendToExtent inserts a new element into a top-level collection.
-func (ex *Executor) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error {
+func (ex *State) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error {
 	if ex.store.IsObjectExtent(ca.Extent) {
 		switch ev := elem.(type) {
 		case *value.Tuple:
@@ -142,7 +142,7 @@ func (ex *Executor) appendToExtent(ca *sema.CheckedAppend, elem value.Value) err
 // stores the container back. When the walk crosses a reference (the
 // container path runs through a ref or own-ref component), the mutation
 // redirects to the referenced object.
-func (ex *Executor) mutateCollection(loc prov, fn func(coll *[]value.Value) error) error {
+func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) error {
 	var redirect *prov
 	apply := func(root value.Value) (value.Value, error) {
 		cur := root
@@ -242,7 +242,7 @@ func (ex *Executor) mutateCollection(loc prov, fn func(coll *[]value.Value) erro
 
 // Delete executes a checked delete: removes the variable's bindings from
 // their collection, destroying owned objects.
-func (ex *Executor) Delete(cd *sema.CheckedDelete) (int, error) {
+func (ex *State) Delete(cd *sema.CheckedDelete) (int, error) {
 	var objs []oid.OID
 	var elems []prov
 	type nestedDel struct {
@@ -338,7 +338,7 @@ func stepsKey(steps []sema.Step) string {
 // Replace executes a checked replace: per matching binding, assigns the
 // attributes and stores the object (or rewrites the owning container for
 // own elements without identity).
-func (ex *Executor) Replace(cr *sema.CheckedReplace) (int, error) {
+func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 	type job struct {
 		pr   prov
 		vals []value.Value
@@ -407,7 +407,7 @@ func (ex *Executor) Replace(cr *sema.CheckedReplace) (int, error) {
 // Set executes a checked set statement: the from/where clause must bind
 // at most one row (zero bindings with variables is an error; a set with
 // no variables always has its one empty binding).
-func (ex *Executor) Set(cs *sema.CheckedSet) error {
+func (ex *State) Set(cs *sema.CheckedSet) error {
 	var rows []*binding
 	plan := ex.Plan(cs.Query)
 	err := ex.Run(plan, func(b *binding) error {
@@ -468,7 +468,7 @@ func (ex *Executor) Set(cs *sema.CheckedSet) error {
 // Execute runs a checked procedure invocation: the body executes once
 // per binding of the from/where clause with the arguments bound as
 // parameters (the generalized IDM stored command).
-func (ex *Executor) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
+func (ex *State) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
 	type frame = map[string]value.Value
 	var frames []frame
 	plan := ex.Plan(ce.Query)
@@ -511,7 +511,7 @@ func coerceParam(v value.Value, t types.Type) value.Value {
 
 // PushParams installs a parameter frame (used when running procedure
 // bodies through the statement dispatcher).
-func (ex *Executor) PushParams(f map[string]value.Value) { ex.params = append(ex.params, f) }
+func (ex *State) PushParams(f map[string]value.Value) { ex.params = append(ex.params, f) }
 
 // PopParams removes the top parameter frame.
-func (ex *Executor) PopParams() { ex.params = ex.params[:len(ex.params)-1] }
+func (ex *State) PopParams() { ex.params = ex.params[:len(ex.params)-1] }

@@ -20,6 +20,7 @@ package object
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/codec"
@@ -37,8 +38,13 @@ type objInfo struct {
 	owner  oid.OID // owning object for own-ref components; Nil otherwise
 }
 
-// Store is the object store. Methods are not individually synchronized;
-// the database layer serializes statement execution.
+// Store is the object store. Its concurrency contract matches the
+// database layer's readers-writer statement lock: read methods (Get,
+// TypeOf, Owner, Exists, Scan*, ExtentLen, GetVar, Deref, IndexLookup,
+// Version) are safe to call from any number of goroutines as long as no
+// mutating method runs concurrently; mutating methods require exclusive
+// access. The database layer enforces this by classifying statements
+// and taking the corresponding side of its RWMutex.
 type Store struct {
 	pool    *storage.BufferPool
 	cat     *catalog.Catalog
@@ -55,16 +61,18 @@ type Store struct {
 	// version counts mutations (inserts, updates, deletes, variable and
 	// element writes, restores). Caches keyed on object state — the
 	// executor's deref memoization — compare it to detect staleness, so
-	// every mutating method must call bump.
-	version uint64
+	// every mutating method must call bump. Atomic so concurrent readers
+	// can validate their statement-local caches while a writer waits on
+	// the statement lock.
+	version atomic.Uint64
 }
 
 // Version returns the store's mutation counter. Any change to stored
 // values (object, element or variable) increments it; a cache holding
 // decoded values is valid exactly as long as the version is unchanged.
-func (s *Store) Version() uint64 { return s.version }
+func (s *Store) Version() uint64 { return s.version.Load() }
 
-func (s *Store) bump() { s.version++ }
+func (s *Store) bump() { s.version.Add(1) }
 
 // New creates an object store over the pool, resolving types through the
 // catalog.

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PoolStats reports buffer pool activity, used by the buffer-pool
@@ -39,16 +40,37 @@ type frame struct {
 	lru   *list.Element // position in the LRU list when unpinned
 }
 
-// BufferPool caches pages of a PageStore in a fixed number of frames with
-// LRU replacement of unpinned frames. All page access in the system goes
-// through a pool, so pool size genuinely bounds the working set.
-type BufferPool struct {
+// poolShard is one independently locked slice of the pool: its own frame
+// map, LRU list and capacity. Pages hash to shards by PageID, so two
+// concurrent readers touching different pages rarely contend on the
+// same shard mutex.
+type poolShard struct {
 	mu     sync.Mutex
-	store  PageStore
 	frames map[PageID]*frame
 	lru    *list.List // of *frame; front = least recently used
 	cap    int
-	stats  PoolStats
+}
+
+// maxPoolShards bounds the shard count; tiny pools get one shard per
+// frame instead.
+const maxPoolShards = 16
+
+// BufferPool caches pages of a PageStore in a fixed number of frames
+// with LRU replacement of unpinned frames, sharded by page ID so
+// concurrent readers on different pages do not serialize on one lock.
+// All page access in the system goes through a pool, so total pool size
+// genuinely bounds the working set (capacity is split across shards;
+// eviction is per shard, which approximates global LRU the way any
+// partitioned cache does).
+//
+// Stat counters are lock-free atomics, incremented at the event site
+// and read with single atomic loads: a Stats() snapshot never observes
+// a torn counter and each counter is monotonic across snapshots.
+type BufferPool struct {
+	store  PageStore
+	shards []poolShard
+
+	hits, misses, evictions, flushes, writeBacks atomic.Uint64
 }
 
 // NewBufferPool returns a pool of capacity frames over store. Capacity
@@ -57,52 +79,80 @@ func NewBufferPool(store PageStore, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		store:  store,
-		frames: make(map[PageID]*frame, capacity),
-		lru:    list.New(),
-		cap:    capacity,
+	nshards := maxPoolShards
+	if capacity < nshards {
+		nshards = capacity
 	}
+	bp := &BufferPool{
+		store:  store,
+		shards: make([]poolShard, nshards),
+	}
+	base, rem := capacity/nshards, capacity%nshards
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.frames = make(map[PageID]*frame, sh.cap)
+		sh.lru = list.New()
+	}
+	return bp
+}
+
+// shard maps a page to its shard. Heap files allocate page IDs
+// sequentially, so consecutive pages round-robin across shards.
+func (bp *BufferPool) shard(id PageID) *poolShard {
+	return &bp.shards[uint64(id)%uint64(len(bp.shards))]
 }
 
 // Store returns the backing page store.
 func (bp *BufferPool) Store() PageStore { return bp.store }
 
-// Stats returns a snapshot of pool counters.
+// Stats returns a snapshot of pool counters: one atomic load per
+// counter, no locks. Counters are monotonic, so two snapshots bracket
+// the traffic between them even while statements run.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Hits:       bp.hits.Load(),
+		Misses:     bp.misses.Load(),
+		Evictions:  bp.evictions.Load(),
+		Flushes:    bp.flushes.Load(),
+		WriteBacks: bp.writeBacks.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (benchmark hygiene).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
+	bp.flushes.Store(0)
+	bp.writeBacks.Store(0)
 }
 
 // Pin fetches the page into a frame and pins it. Every Pin must be paired
 // with an Unpin. The returned buffer is valid until Unpin.
 func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		bp.hits.Add(1)
 		if f.lru != nil {
-			bp.lru.Remove(f.lru)
+			sh.lru.Remove(f.lru)
 			f.lru = nil
 		}
 		f.pins++
 		return f.buf, nil
 	}
-	bp.stats.Misses++
-	f, err := bp.newFrame(id)
+	bp.misses.Add(1)
+	f, err := bp.newFrame(sh, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := bp.store.Read(id, f.buf); err != nil {
-		delete(bp.frames, id)
+		delete(sh.frames, id)
 		return nil, err
 	}
 	f.pins = 1
@@ -116,9 +166,10 @@ func (bp *BufferPool) PinNew() (PageID, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, err := bp.newFrame(id)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := bp.newFrame(sh, id)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -130,42 +181,43 @@ func (bp *BufferPool) PinNew() (PageID, []byte, error) {
 	return id, f.buf, nil
 }
 
-// newFrame finds or evicts a frame for id and registers it. Caller holds
-// bp.mu.
-func (bp *BufferPool) newFrame(id PageID) (*frame, error) {
+// newFrame finds or evicts a frame for id within one shard and registers
+// it. Caller holds sh.mu.
+func (bp *BufferPool) newFrame(sh *poolShard, id PageID) (*frame, error) {
 	var f *frame
-	if len(bp.frames) < bp.cap {
+	if len(sh.frames) < sh.cap {
 		f = &frame{buf: make([]byte, PageSize)}
 	} else {
-		el := bp.lru.Front()
+		el := sh.lru.Front()
 		if el == nil {
-			return nil, fmt.Errorf("buffer pool exhausted: all %d frames pinned", bp.cap)
+			return nil, fmt.Errorf("buffer pool exhausted: all %d frames of the shard pinned", sh.cap)
 		}
 		victim := el.Value.(*frame)
-		bp.lru.Remove(el)
+		sh.lru.Remove(el)
 		victim.lru = nil
 		if victim.dirty {
 			if err := bp.store.Write(victim.id, victim.buf); err != nil {
 				return nil, fmt.Errorf("evict page %d: %w", victim.id, err)
 			}
-			bp.stats.Flushes++
-			bp.stats.WriteBacks++
+			bp.flushes.Add(1)
+			bp.writeBacks.Add(1)
 		}
-		delete(bp.frames, victim.id)
-		bp.stats.Evictions++
+		delete(sh.frames, victim.id)
+		bp.evictions.Add(1)
 		f = victim
 		f.dirty = false
 	}
 	f.id = id
-	bp.frames[id] = f
+	sh.frames[id] = f
 	return f, nil
 }
 
 // MarkDirty records that the pinned page was modified.
 func (bp *BufferPool) MarkDirty(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
 		f.dirty = true
 	}
 }
@@ -173,46 +225,52 @@ func (bp *BufferPool) MarkDirty(id PageID) {
 // Unpin releases one pin. When the pin count reaches zero the frame
 // becomes eligible for eviction.
 func (bp *BufferPool) Unpin(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, ok := bp.frames[id]
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok || f.pins == 0 {
 		return
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lru = bp.lru.PushBack(f)
+		f.lru = sh.lru.PushBack(f)
 	}
 }
 
 // FlushAll writes every dirty frame back to the store. Used at snapshot
 // points and on close.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if !f.dirty {
-			continue
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			if err := bp.store.Write(f.id, f.buf); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+			bp.flushes.Add(1)
 		}
-		if err := bp.store.Write(f.id, f.buf); err != nil {
-			return err
-		}
-		f.dirty = false
-		bp.stats.Flushes++
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // Drop discards the frame for a freed page without writing it back.
 func (bp *BufferPool) Drop(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, ok := bp.frames[id]
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok {
 		return
 	}
 	if f.lru != nil {
-		bp.lru.Remove(f.lru)
+		sh.lru.Remove(f.lru)
 	}
-	delete(bp.frames, id)
+	delete(sh.frames, id)
 }

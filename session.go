@@ -1,0 +1,458 @@
+package extra
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+	"repro/internal/excess/sema"
+	"repro/internal/exec"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Session is one client's connection-like handle on a DB: its own user
+// identity, its own persistent range declarations, and its own slow-query
+// attribution. Sessions are cheap; a server would create one per
+// connection. Statements from different sessions run concurrently when
+// they are read-only (retrieve without into) — the DB classifies each
+// statement through the sema layer and takes the shared or exclusive
+// side of the statement lock accordingly.
+//
+// A single Session may also be used from multiple goroutines for
+// read-only statements; statements that mutate session state (range
+// declarations, set user, procedure execution) are serialized by the
+// DB's exclusive lock.
+type Session struct {
+	db   *DB
+	id   int64
+	user string
+	sem  *sema.Session
+}
+
+// NewSession returns a new session with its own range-declaration table
+// and user identity (initially "dba"). The zero-cost way to run read
+// statements in parallel: one session per goroutine.
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db:   db,
+		id:   db.nextSession.Add(1),
+		user: "dba",
+		sem:  sema.NewSession(),
+	}
+}
+
+// ID returns the session's identifier (0 is the DB's default session);
+// slow-query log entries carry it for per-session attribution.
+func (s *Session) ID() int64 { return s.id }
+
+// SetUser switches the session's current user; subsequent statements run
+// with that user's privileges.
+func (s *Session) SetUser(name string) error {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if !s.db.auth.UserExists(name) {
+		return fmt.Errorf("no user %s", name)
+	}
+	s.user = name
+	return nil
+}
+
+// CurrentUser returns the session's user.
+func (s *Session) CurrentUser() string {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.user
+}
+
+// lockStatements takes the appropriate side of the statement lock for a
+// batch that is (or is not) entirely read-only, returning the matching
+// unlock.
+func (db *DB) lockStatements(readOnly bool) func() {
+	if readOnly {
+		db.mu.RLock()
+		return db.mu.RUnlock
+	}
+	db.mu.Lock()
+	return db.mu.Unlock
+}
+
+// allReadOnly reports whether every statement of a batch can run under
+// the shared lock.
+func allReadOnly(stmts []ast.Statement) bool {
+	for _, st := range stmts {
+		if !sema.ReadOnly(st) {
+			return false
+		}
+	}
+	return true
+}
+
+// Exec parses and runs one or more EXCESS statements, returning the
+// result of the last retrieve (nil if none). Parsing happens before the
+// statement lock is taken (it only reads the ADT registry, which has
+// its own lock), so a retrieve-only batch holds the shared lock and
+// runs concurrently with other readers.
+func (s *Session) Exec(src string) (*Result, error) {
+	db := s.db
+	start := time.Now()
+	stmts, err := parse.Statements(src, db.reg)
+	parseDur := time.Since(start)
+	if err != nil {
+		db.cErrors.Inc()
+		return nil, err
+	}
+	unlock := db.lockStatements(allReadOnly(stmts))
+	defer unlock()
+	if db.closed {
+		return nil, errDBClosed
+	}
+	es := db.exec.NewState()
+	var tr stmtTrace
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.runStmt(es, st, nil, &tr)
+		if err != nil {
+			db.cErrors.Inc()
+			return nil, err
+		}
+		if r != nil {
+			last = r
+		}
+	}
+	if last != nil {
+		tr.rows = len(last.Rows)
+	}
+	db.finishTrace(s, src, parseDur, &tr, start)
+	return last, nil
+}
+
+// Query is Exec for a single retrieve; it errors when the source is not
+// exactly one retrieve statement. A retrieve without an into clause
+// runs under the shared lock, concurrently with other readers.
+func (s *Session) Query(src string) (*Result, error) {
+	db := s.db
+	start := time.Now()
+	st, err := parse.One(src, db.reg)
+	parseDur := time.Since(start)
+	if err != nil {
+		db.cErrors.Inc()
+		return nil, err
+	}
+	r, ok := st.(*ast.Retrieve)
+	if !ok {
+		db.cErrors.Inc()
+		return nil, fmt.Errorf("query: %w (use Exec for updates and DDL)", ErrNotRetrieve)
+	}
+	unlock := db.lockStatements(sema.ReadOnly(st))
+	defer unlock()
+	if db.closed {
+		return nil, errDBClosed
+	}
+	var tr stmtTrace
+	res, err := s.runStmt(db.exec.NewState(), r, nil, &tr)
+	if err != nil {
+		db.cErrors.Inc()
+		return nil, err
+	}
+	if res != nil {
+		tr.rows = len(res.Rows)
+	}
+	db.finishTrace(s, src, parseDur, &tr, start)
+	return res, nil
+}
+
+// MustExec runs statements and panics on error; for examples and tests.
+func (s *Session) MustExec(src string) *Result {
+	r, err := s.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MustQuery runs a retrieve and panics on error.
+func (s *Session) MustQuery(src string) *Result {
+	r, err := s.Query(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// runStmt dispatches one statement through the session's per-statement
+// execution state. params provides the parameter scope when executing
+// procedure bodies; tr (optional) accumulates phase durations for the
+// statement-level trace. Callers hold the statement lock on the side
+// sema.ReadOnly prescribes for st.
+func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, tr *stmtTrace) (*Result, error) {
+	db := s.db
+	db.metrics.Counter("stmt." + sema.KindOf(st)).Inc()
+	if tr != nil {
+		// Non-retrieve statements do not split phases; their whole cost
+		// lands in the execute phase. Retrieves are timed per phase in
+		// their case below.
+		if _, isRet := st.(*ast.Retrieve); !isRet {
+			t0 := time.Now()
+			defer func() { tr.execute += time.Since(t0) }()
+		}
+	}
+	switch st := st.(type) {
+	case *ast.DefineType:
+		_, err := db.cat.DefineTupleFromAST(st)
+		if err == nil {
+			db.auth.SetOwner(st.Name, s.user)
+		}
+		return nil, err
+	case *ast.DefineEnum:
+		return nil, db.cat.DefineEnum(&types.Enum{Name: st.Name, Labels: st.Labels})
+	case *ast.Create:
+		comp, err := db.cat.ResolveComponent(st.Comp)
+		if err != nil {
+			return nil, err
+		}
+		v, err := db.cat.CreateVar(st.Name, comp)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.store.InitVar(v); err != nil {
+			return nil, err
+		}
+		for i, key := range st.Keys {
+			if _, err := db.store.BuildKey(st.Name, key, i); err != nil {
+				return nil, err
+			}
+		}
+		db.auth.SetOwner(st.Name, s.user)
+		return nil, nil
+	case *ast.Drop:
+		if err := db.auth.Check(s.user, st.Name, authz.Update); err != nil {
+			return nil, err
+		}
+		v, ok := db.cat.Var(st.Name)
+		if !ok {
+			return nil, fmt.Errorf("no database variable %s", st.Name)
+		}
+		if err := db.store.DropVar(v); err != nil {
+			return nil, err
+		}
+		return nil, db.cat.DropVar(st.Name)
+	case *ast.DefineFunction:
+		_, err := sema.BuildFunction(db.cat, s.sem, st)
+		return nil, err
+	case *ast.DefineProcedure:
+		p, err := sema.BuildProcedure(db.cat, st)
+		if err != nil {
+			return nil, err
+		}
+		p.Owner = s.user
+		return nil, db.cat.DefineProcedure(p)
+	case *ast.DefineIndex:
+		_, err := db.store.BuildIndex(st.Name, st.Extent, st.Path, st.Unique)
+		return nil, err
+	case *ast.RangeDecl:
+		// Validate eagerly so "range of E is Nonexistent" fails here.
+		probe := sema.NewChecker(db.cat, sema.NewSession(), params.typesOrNil())
+		if _, err := probe.ProbeRange(st); err != nil {
+			return nil, err
+		}
+		s.sem.Declare(st)
+		return nil, nil
+	case *ast.Grant:
+		return nil, db.auth.Grant(s.user, st.Priv, st.On, st.To)
+	case *ast.Revoke:
+		return nil, db.auth.Revoke(s.user, st.Priv, st.On, st.From)
+	case *ast.Retrieve:
+		ck := s.checker(params)
+		t0 := time.Now()
+		cq, err := ck.CheckRetrieve(st)
+		if tr != nil {
+			tr.check += time.Since(t0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		plan := es.Plan(cq.Query)
+		if tr != nil {
+			tr.plan += time.Since(t0)
+		}
+		t0 = time.Now()
+		res, err := withParams(es, params, func() (*Result, error) {
+			return es.RetrievePlan(cq, plan)
+		})
+		if tr != nil {
+			tr.execute += time.Since(t0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cq.Into != "" {
+			db.auth.SetOwner(cq.Into, s.user)
+		}
+		return res, nil
+	case *ast.Append:
+		ck := s.checker(params)
+		ca, err := ck.CheckAppend(st)
+		if err != nil {
+			return nil, err
+		}
+		wr := ca.Extent
+		if wr == "" {
+			wr = ca.OwnerVar
+		}
+		if err := s.authQuery(ca.Query, []string{wr}); err != nil {
+			return nil, err
+		}
+		_, err = withParamsN(es, params, func() (int, error) { return es.Append(ca) })
+		return nil, err
+	case *ast.Delete:
+		ck := s.checker(params)
+		cd, err := ck.CheckDelete(st)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.authQuery(cd.Query, []string{cd.Var.Extent}); err != nil {
+			return nil, err
+		}
+		_, err = withParamsN(es, params, func() (int, error) { return es.Delete(cd) })
+		return nil, err
+	case *ast.Replace:
+		ck := s.checker(params)
+		cr, err := ck.CheckReplace(st)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.authQuery(cr.Query, []string{cr.Var.Extent}); err != nil {
+			return nil, err
+		}
+		_, err = withParamsN(es, params, func() (int, error) { return es.Replace(cr) })
+		return nil, err
+	case *ast.SetStmt:
+		ck := s.checker(params)
+		cs, err := ck.CheckSet(st)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.authQuery(cs.Query, []string{cs.VarName}); err != nil {
+			return nil, err
+		}
+		_, err = withParams(es, params, func() (*Result, error) { return nil, es.Set(cs) })
+		return nil, err
+	case *ast.Execute:
+		return nil, s.runExecute(es, st, params)
+	}
+	return nil, fmt.Errorf("unhandled statement %T", st)
+}
+
+func (s *Session) checker(params *paramScope) *sema.Checker {
+	return sema.NewChecker(s.db.cat, s.sem, params.typesOrNil())
+}
+
+// withParams runs fn with the procedure parameter frame installed on the
+// statement's execution state.
+func withParams(es *exec.State, params *paramScope, fn func() (*Result, error)) (*Result, error) {
+	if params != nil {
+		es.PushParams(params.values)
+		defer es.PopParams()
+	}
+	return fn()
+}
+
+func withParamsN(es *exec.State, params *paramScope, fn func() (int, error)) (int, error) {
+	if params != nil {
+		es.PushParams(params.values)
+		defer es.PopParams()
+	}
+	return fn()
+}
+
+// runExecute evaluates a procedure invocation: the body runs once per
+// binding of the from/where clause with arguments as parameters.
+func (s *Session) runExecute(es *exec.State, stmt *ast.Execute, params *paramScope) error {
+	ck := s.checker(params)
+	ce, err := ck.CheckExecute(stmt)
+	if err != nil {
+		return err
+	}
+	if err := s.authQuery(ce.Query, nil); err != nil {
+		return err
+	}
+	ptypes := make(map[string]types.Type, len(ce.Proc.Params))
+	for _, p := range ce.Proc.Params {
+		ptypes[p.Name] = p.Type
+	}
+	// Definer rights: the body runs with the owner's privileges, so a
+	// procedure can encapsulate updates its caller could not perform
+	// directly (the IDM stored-command pattern the paper builds data
+	// abstraction from). The swap is safe because execute statements are
+	// write-classified: the exclusive statement lock is held, so no
+	// concurrent reader observes the temporary identity.
+	caller := s.user
+	if ce.Proc.Owner != "" {
+		s.user = ce.Proc.Owner
+	}
+	defer func() { s.user = caller }()
+	_, err = withParamsN(es, params, func() (int, error) {
+		return es.Execute(ce, func(frame map[string]value.Value) error {
+			scope := &paramScope{types: ptypes, values: frame}
+			for _, bodyStmt := range ce.Proc.Body {
+				// Body statements run untraced: their cost is already
+				// inside the invoking execute's span.
+				if _, err := s.runStmt(es, bodyStmt, scope, nil); err != nil {
+					return fmt.Errorf("procedure %s: %w", ce.Proc.Name, err)
+				}
+			}
+			return nil
+		})
+	})
+	return err
+}
+
+// authQuery enforces select on every extent and database variable a
+// query reads (range sources, whole-extent aggregates, variable reads in
+// any expression) and update on the write targets. Reads inside EXCESS
+// function bodies are deliberately exempt — that exemption is the data
+// abstraction mechanism of §4.2.3.
+func (s *Session) authQuery(q sema.Query, writes []string, exprs ...sema.Expr) error {
+	db := s.db
+	reads := map[string]bool{}
+	for _, v := range q.Vars {
+		if v.Extent != "" {
+			reads[v.Extent] = true
+		}
+	}
+	collect := func(e sema.Expr) {
+		sema.WalkExpr(e, func(x sema.Expr) {
+			switch r := x.(type) {
+			case *sema.DBVarRead:
+				reads[r.Name] = true
+			case *sema.ExtentSet:
+				reads[r.Name] = true
+			}
+		})
+	}
+	collect(q.Where)
+	for _, e := range exprs {
+		collect(e)
+	}
+	for name := range reads {
+		if err := db.auth.Check(s.user, name, authz.Select); err != nil {
+			return err
+		}
+	}
+	for _, w := range writes {
+		if w == "" {
+			continue
+		}
+		if err := db.auth.Check(s.user, w, authz.Update); err != nil {
+			return err
+		}
+	}
+	return nil
+}
