@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make lint` is the one to run before
+# pushing — it includes extravet, the repo's own invariant checkers.
+
+GO ?= go
+
+.PHONY: build test race lint vet fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# extravet enforces the concurrency/determinism contracts documented in
+# DESIGN.md ("Statically enforced invariants"). It needs no tools
+# outside the repo and the standard distribution.
+lint: vet
+	$(GO) run ./cmd/extravet ./...
+
+vet:
+	$(GO) vet ./...
+
+# 30-second parse/print/reparse stability smoke over the EXCESS parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParsePrintReparse -fuzztime=30s ./internal/excess/parse/
+
+bench:
+	$(GO) test -short -run '^$$' -bench 'Join|AccessMethod|RefChase' -benchtime=1x ./...

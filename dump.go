@@ -21,6 +21,9 @@ import (
 // and index definitions — as a line-oriented text stream that Load can
 // replay into a fresh database. Authorization state (users, groups,
 // grants) is session configuration and is not dumped.
+//
+// extra:acquires db.mu.R
+// extra:output
 func (db *DB) Dump(w io.Writer) error {
 	// A dump only reads; the shared lock lets it run beside queries
 	// while still excluding writers (a consistent snapshot).
@@ -174,6 +177,10 @@ func (db *DB) LoadFile(path string) error {
 	return db.Load(f)
 }
 
+// loadDataLine restores one OBJ/ELEM/VAR record under the exclusive
+// statement lock, like any other mutation.
+//
+// extra:acquires db.mu.W
 func (db *DB) loadDataLine(line string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

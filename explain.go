@@ -24,6 +24,9 @@ type ExplainOutput = algebra.AnalyzeReport
 // optimizer's plan as an indented text tree — which access method each
 // variable uses, where each predicate conjunct was attached, and the
 // universally quantified residue. The query is not executed.
+//
+// extra:acquires db.mu.R
+// extra:output
 func (db *DB) Explain(src string) (string, error) {
 	st, err := parse.One(src, db.reg)
 	if err != nil {
@@ -53,6 +56,8 @@ func (db *DB) Explain(src string) (string, error) {
 // self time and buffer-pool hits/misses per operator, plus residual
 // filter, quantification, aggregation and phase-timing totals. Unlike
 // Explain, the query (including any into clause) really runs.
+//
+// extra:output
 func (db *DB) ExplainAnalyze(src string) (string, error) {
 	plan, sum, err := db.analyze(src)
 	if err != nil {
@@ -63,6 +68,8 @@ func (db *DB) ExplainAnalyze(src string) (string, error) {
 
 // ExplainAnalyzeReport is ExplainAnalyze returning the structured
 // document instead of rendered text.
+//
+// extra:output
 func (db *DB) ExplainAnalyzeReport(src string) (*ExplainOutput, error) {
 	plan, sum, err := db.analyze(src)
 	if err != nil {
@@ -73,6 +80,8 @@ func (db *DB) ExplainAnalyzeReport(src string) (*ExplainOutput, error) {
 
 // ExplainAnalyzeJSON is ExplainAnalyze with machine-readable JSON
 // output.
+//
+// extra:output
 func (db *DB) ExplainAnalyzeJSON(src string) (string, error) {
 	rep, err := db.ExplainAnalyzeReport(src)
 	if err != nil {

@@ -92,7 +92,7 @@ type DB struct {
 	// the read path touches below it — store reads, buffer pool,
 	// catalog, B+-tree lookups, metrics — is safe under concurrent
 	// readers.
-	mu    sync.RWMutex
+	mu    sync.RWMutex // extra:lock db.mu
 	reg   *adt.Registry
 	cat   *catalog.Catalog
 	pool  *storage.BufferPool
@@ -116,7 +116,7 @@ type DB struct {
 	// exceeded slowThreshold. Guarded by slowMu — its own lock, not the
 	// statement lock, because concurrent readers finish statements
 	// concurrently and each may need to append an entry.
-	slowMu        sync.Mutex
+	slowMu        sync.Mutex // extra:lock db.slowMu
 	slowThreshold time.Duration
 	slowCap       int
 	slow          []SlowQuery
@@ -205,6 +205,8 @@ func Open(opts ...Option) (*DB, error) {
 }
 
 // Close flushes dirty pages and releases the page store.
+//
+// extra:acquires db.mu.W
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -229,6 +231,8 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // SetOptimizer configures query optimization (benchmarks use this to
 // compare optimized and naive plans). It takes the exclusive statement
 // lock so options never change under a running statement.
+//
+// extra:acquires db.mu.W
 func (db *DB) SetOptimizer(o OptimizerOptions) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -256,6 +260,8 @@ func (db *DB) Metrics() *Metrics { return db.metrics }
 // counter, and two snapshots bracket the traffic between them. The
 // pool counters are sampled first, so pool.hits+pool.misses can only
 // lag (never lead) the statement counters taken in the same pass.
+//
+// extra:output
 func (db *DB) MetricsSnapshot() MetricsSnapshot {
 	ps := db.pool.Stats()
 	s := db.metrics.Snapshot()
@@ -282,6 +288,8 @@ type SlowQuery struct {
 }
 
 // SlowQueries returns the retained slow statements, oldest first.
+//
+// extra:acquires db.slowMu.W
 func (db *DB) SlowQueries() []SlowQuery {
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
@@ -296,6 +304,8 @@ func (db *DB) SlowQueries() []SlowQuery {
 
 // SetSlowQueryThreshold adjusts the slow-query threshold at run time;
 // 0 disables logging.
+//
+// extra:acquires db.slowMu.W
 func (db *DB) SetSlowQueryThreshold(d time.Duration) {
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
@@ -314,6 +324,8 @@ type stmtTrace struct {
 // session's id. The histograms are atomic; only the slow-query ring
 // needs its lock, so concurrent readers finishing simultaneously
 // contend only on that.
+//
+// extra:acquires db.slowMu.W
 func (db *DB) finishTrace(s *Session, src string, parse time.Duration, tr *stmtTrace, start time.Time) {
 	total := time.Since(start)
 	db.hParse.Observe(parse)
@@ -383,6 +395,9 @@ func (p *paramScope) typesOrNil() map[string]types.Type {
 // symmetry, extent maps, index completeness and uniqueness. It returns
 // the violations found (nil means consistent). It reads under the
 // shared statement lock.
+//
+// extra:acquires db.mu.R
+// extra:output
 func (db *DB) CheckConsistency() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()

@@ -247,9 +247,16 @@ func (r *Registry) ResolveFunc(class, name string, args []types.Type) (*Func, er
 // receiver type alone does not determine the class.
 func (r *Registry) ResolveAnyFunc(name string, args []types.Type) (*Func, error) {
 	r.mu.RLock()
+	// Collect candidates in class-name order, so overload resolution
+	// (and any ambiguity it reports) never depends on map iteration.
+	classNames := make([]string, 0, len(r.classes))
+	for n := range r.classes {
+		classNames = append(classNames, n)
+	}
+	sort.Strings(classNames)
 	var cands []*Func
-	for _, c := range r.classes {
-		cands = append(cands, c.funcs[name]...)
+	for _, n := range classNames {
+		cands = append(cands, r.classes[n].funcs[name]...)
 	}
 	r.mu.RUnlock()
 	return resolve(name, cands, args)

@@ -1,0 +1,61 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestResolveAnyFuncDeterministic pins the fix that made ResolveAnyFunc
+// collect candidates in class-name order rather than map order: the
+// resolved overload and any ambiguity report must be identical on every
+// call. (The detorder analyzer guards the catalog listings the same
+// way.)
+func TestResolveAnyFuncDeterministic(t *testing.T) {
+	r := NewRegistry()
+	zeta, err := r.Define("Zeta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := r.Define("Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = zeta
+	_ = alpha
+
+	// Same name, different arities: exactly one applies to one argument.
+	unary := &Func{Name: "pick", Params: []types.Type{types.Int4}, Result: types.Int4}
+	binary := &Func{Name: "pick", Params: []types.Type{types.Int4, types.Int4}, Result: types.Int4}
+	if err := r.RegisterFunc("Alpha", unary); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterFunc("Zeta", binary); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, same signature in two classes: always ambiguous, with a
+	// stable report.
+	if err := r.RegisterFunc("Alpha", &Func{Name: "mix", Params: []types.Type{types.Int4}, Result: types.Int4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterFunc("Zeta", &Func{Name: "mix", Params: []types.Type{types.Int4}, Result: types.Int4}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 50; i++ {
+		got, err := r.ResolveAnyFunc("pick", []types.Type{types.Int4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != unary {
+			t.Fatalf("call %d resolved a different overload", i)
+		}
+		_, err = r.ResolveAnyFunc("mix", []types.Type{types.Int4})
+		if err == nil {
+			t.Fatalf("call %d: expected ambiguity error", i)
+		}
+		if want := "ambiguous overload of mix for (int4)"; err.Error() != want {
+			t.Fatalf("call %d: error %q, want %q", i, err, want)
+		}
+	}
+}

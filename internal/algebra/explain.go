@@ -11,6 +11,8 @@ import (
 // \explain and by DB.Explain. It shows the access method chosen per
 // node, where each conjunct was attached, and the quantified residue —
 // the observable output of the optimizer rules.
+//
+// extra:output
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	for i := range p.Nodes {

@@ -103,6 +103,8 @@ func (p *Plan) Report(sum AnalyzeSummary) *AnalyzeReport {
 // ExplainAnalyze renders the plan tree annotated with the actuals of an
 // instrumented execution, in the shape of Explain with one
 // "(actual ...)" clause per operator and a statement summary footer.
+//
+// extra:output
 func (p *Plan) ExplainAnalyze(sum AnalyzeSummary) string {
 	rt := p.Runtime
 	var b strings.Builder

@@ -189,6 +189,8 @@ func (c *Catalog) TupleType(name string) (*types.TupleType, bool) {
 }
 
 // TupleTypeNames returns the sorted schema type names.
+//
+// extra:output
 func (c *Catalog) TupleTypeNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -220,6 +222,8 @@ func (c *Catalog) EnumType(name string) (*types.Enum, bool) {
 }
 
 // EnumNames returns the sorted enumeration type names.
+//
+// extra:output
 func (c *Catalog) EnumNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -267,6 +271,8 @@ func (c *Catalog) Var(name string) (*Variable, bool) {
 }
 
 // VarNames returns the sorted database variable names.
+//
+// extra:output
 func (c *Catalog) VarNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -408,6 +414,8 @@ func (c *Catalog) Index(name string) (*Index, bool) {
 }
 
 // FunctionNames returns the sorted names of all EXCESS functions.
+//
+// extra:output
 func (c *Catalog) FunctionNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -420,6 +428,8 @@ func (c *Catalog) FunctionNames() []string {
 }
 
 // ProcedureNames returns the sorted names of all procedures.
+//
+// extra:output
 func (c *Catalog) ProcedureNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -432,6 +442,8 @@ func (c *Catalog) ProcedureNames() []string {
 }
 
 // IndexNames returns the sorted names of all indexes.
+//
+// extra:output
 func (c *Catalog) IndexNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

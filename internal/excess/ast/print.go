@@ -252,7 +252,7 @@ func printExpr(b *strings.Builder, e Expr) {
 		}
 		b.WriteString(s)
 	case *StrLit:
-		b.WriteString(strconv.Quote(x.V))
+		b.WriteString(quoteStr(x.V))
 	case *BoolLit:
 		if x.V {
 			b.WriteString("true")
@@ -322,4 +322,30 @@ func printExpr(b *strings.Builder, e Expr) {
 	default:
 		fmt.Fprintf(b, "<%T>", e)
 	}
+}
+
+// quoteStr renders a string literal using only the escapes the EXCESS
+// scanner understands (\" \\ \n \t); every other rune — including
+// control characters — is passed through raw, which the scanner also
+// accepts. Go's strconv.Quote would emit \xNN and \uNNNN escapes the
+// language does not have, so printed literals would not reparse.
+func quoteStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

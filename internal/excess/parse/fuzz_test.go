@@ -1,0 +1,93 @@
+package parse_test
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+)
+
+// fuzzSeeds are statements lifted from the paper's Figures 1-7 as
+// exercised by the figure tests: the EXTRA schema DDL (types with
+// inheritance, renames and the three attribute semantics; extents,
+// refs, fixed arrays), the QUEL-derived DML, aggregates with by/over,
+// procedures, indexes and authorization.
+var fuzzSeeds = []string{
+	// Figure 1: the Person/Employee schema and its database.
+	`define type Person: ( name: char[20], ssnum: int4, birthday: Date, kids: { own ref Person } )`,
+	`define type Employee inherits Person: ( salary: int4 )`,
+	`create Employees : { own Employee }`,
+	`create StarEmployee : ref Employee`,
+	`create TopTen : [10] ref Employee`,
+	`create Today : Date`,
+	`set Today = date("12/07/1987")`,
+	`append to Employees (name = "Ann", ssnum = 1, salary = 90, birthday = date("01/15/1955"))`,
+	`set StarEmployee = E from E in Employees where E.name = "Ann"`,
+	`set TopTen[1] = E from E in Employees where E.name = "Ann"`,
+	`retrieve (Today)`,
+	`retrieve (StarEmployee.name, StarEmployee.salary)`,
+	`retrieve (y = year(StarEmployee.birthday))`,
+	// Figures 2-3: multiple inheritance and renaming.
+	`define type StudentEmp inherits Employee, Student: ( hours: int4 )`,
+	`define type StudentEmp inherits Employee, Student with dept renamed school_dept: ( hours: int4 )`,
+	`retrieve (S.name, S.gpa, S.salary) from S in StudentEmps where S.hours < 40`,
+	// Figure 4: own / own ref / ref attribute semantics.
+	`define type CompParent: ( pname: varchar, kids: { own ref Child } )`,
+	`append to P.kids (cname = "a", age = 3) from P in EmbedParents`,
+	`delete P from P in EmbedParents`,
+	`retrieve (K.cname) from K in CompParents.kids`,
+	// Figures 5-6: queries over the company database.
+	`range of C is Employees.kids`,
+	`range of EV is all Employees`,
+	`retrieve (E.name) from E in Employees where E.dept.floor = 2`,
+	`retrieve (E.name, D.dname) from E in Employees, D in Departments where E.salary > 80 and D.floor = E.dept.floor`,
+	`retrieve (A.name, B.name) from A in Employees, B in Employees where A.dept is B.dept and A.name != B.name`,
+	`retrieve (f = E.dept.floor, a = avg(E.salary by E.dept.floor)) from E in Employees`,
+	`retrieve (n = count(E.dept.dname over E.dept.dname)) from E in Employees`,
+	`retrieve (D.dname) from D in Departments where EV.dept isnot D or EV.salary > 60`,
+	`replace E (salary = E.salary + 10) from E in Employees where E.dept.floor = 2`,
+	`delete E from E in Employees where E.salary < 60`,
+	`retrieve into Rich (E.name) from E in Employees where E.salary > 80`,
+	// Figure 7 and the rest of the surface: ADTs, procedures, indexes,
+	// enums, authorization.
+	`define enum Color : ( red, green, blue )`,
+	`define function bonus (E: Employee) returns int4 as ( E.salary / 10 )`,
+	`define procedure Raise (D: Department, amount: int4) as ( replace E (salary = E.salary + amount) from E in Employees where E.dept is D )`,
+	`execute Raise (D, 5) from D in Depts where D.floor = 2`,
+	`define index on Employees (salary) unique`,
+	`grant select on Employees to carol, analysts`,
+	`revoke all on Employees from bob`,
+	`drop Employees`,
+}
+
+// FuzzParsePrintReparse checks the parser's core stability property on
+// arbitrary input: it must never panic, and whenever it accepts an
+// input, Print must render a form the parser accepts again, with the
+// second print identical to the first (print/parse reaches a fixpoint,
+// so nothing is silently lost or reassociated).
+func FuzzParsePrintReparse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	reg := adt.NewRegistry()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return // keep pathological inputs cheap
+		}
+		stmts, err := parse.Statements(src, reg)
+		if err != nil {
+			return // rejecting is fine; crashing is not
+		}
+		for _, st := range stmts {
+			p1 := ast.Print(st)
+			st2, err := parse.One(p1, reg)
+			if err != nil {
+				t.Fatalf("printed form does not reparse\n  input: %q\n  printed: %q\n  error: %v", src, p1, err)
+			}
+			if p2 := ast.Print(st2); p1 != p2 {
+				t.Fatalf("print/parse fixpoint broken\n  input: %q\n  print1: %q\n  print2: %q", src, p1, p2)
+			}
+		}
+	})
+}

@@ -119,6 +119,8 @@ func (ex *State) callFunction(fn *catalog.Function, args []value.Value) (value.V
 // held across binding (binding is pure checker work over the immutable
 // catalog), which serializes first calls but keeps the cache free of
 // duplicate entries.
+//
+// extra:acquires fnMu.W
 func (ex *Executor) bindBody(fn *catalog.Function, paramTypes map[string]types.Type) (*boundBody, error) {
 	ex.fnMu.Lock()
 	defer ex.fnMu.Unlock()

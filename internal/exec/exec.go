@@ -47,7 +47,7 @@ type Executor struct {
 	// extent surfaces as the same error either way. Guarded by fnMu —
 	// the only engine-core lock; bound bodies themselves are immutable
 	// after insertion and are shared freely between statements.
-	fnMu    sync.Mutex
+	fnMu    sync.Mutex // extra:lock fnMu
 	fnCache map[*catalog.Function]*boundBody
 
 	statsMisses atomic.Int64 // cardinality-estimate fallbacks (planning)
@@ -109,6 +109,8 @@ func (ex *Executor) NewState() *State {
 // SetOptions configures the optimizer (used by the benchmarks to compare
 // optimized and naive plans). It must not race with running statements;
 // the database layer calls it under its exclusive statement lock.
+//
+// extra:requires db.mu.W
 func (ex *Executor) SetOptions(o algebra.Options) { ex.opts = o }
 
 // Options returns the current optimizer options.

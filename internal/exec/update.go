@@ -13,6 +13,8 @@ import (
 // Append executes a checked append, returning the number of elements
 // appended (one per binding of the from/where clause; one when the
 // statement has no bindings).
+//
+// extra:requires db.mu.W
 func (ex *State) Append(ca *sema.CheckedAppend) (int, error) {
 	type job struct {
 		elem  value.Value
@@ -106,6 +108,8 @@ func (ex *State) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Val
 }
 
 // appendToExtent inserts a new element into a top-level collection.
+//
+// extra:requires db.mu.W
 func (ex *State) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error {
 	if ex.store.IsObjectExtent(ca.Extent) {
 		switch ev := elem.(type) {
@@ -142,6 +146,8 @@ func (ex *State) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error 
 // stores the container back. When the walk crosses a reference (the
 // container path runs through a ref or own-ref component), the mutation
 // redirects to the referenced object.
+//
+// extra:requires db.mu.W
 func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) error {
 	var redirect *prov
 	apply := func(root value.Value) (value.Value, error) {
@@ -242,6 +248,8 @@ func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) 
 
 // Delete executes a checked delete: removes the variable's bindings from
 // their collection, destroying owned objects.
+//
+// extra:requires db.mu.W
 func (ex *State) Delete(cd *sema.CheckedDelete) (int, error) {
 	var objs []oid.OID
 	var elems []prov
@@ -338,6 +346,8 @@ func stepsKey(steps []sema.Step) string {
 // Replace executes a checked replace: per matching binding, assigns the
 // attributes and stores the object (or rewrites the owning container for
 // own elements without identity).
+//
+// extra:requires db.mu.W
 func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 	type job struct {
 		pr   prov
@@ -407,6 +417,8 @@ func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 // Set executes a checked set statement: the from/where clause must bind
 // at most one row (zero bindings with variables is an error; a set with
 // no variables always has its one empty binding).
+//
+// extra:requires db.mu.W
 func (ex *State) Set(cs *sema.CheckedSet) error {
 	var rows []*binding
 	plan := ex.Plan(cs.Query)
@@ -468,6 +480,8 @@ func (ex *State) Set(cs *sema.CheckedSet) error {
 // Execute runs a checked procedure invocation: the body executes once
 // per binding of the from/where clause with the arguments bound as
 // parameters (the generalized IDM stored command).
+//
+// extra:requires db.mu.W
 func (ex *State) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
 	type frame = map[string]value.Value
 	var frames []frame

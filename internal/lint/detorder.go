@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder keeps user-visible output deterministic: any function
+// reachable from an "// extra:output" root (dump, explain, catalog name
+// listings, metrics snapshots, the store fsck) must not range over a
+// map in an order-dependent way, because Go randomizes map iteration
+// per range statement — golden tests and `\dump` output would flicker.
+//
+// A map range inside a reachable function is accepted only when its
+// body is provably order-insensitive:
+//
+//   - key collection: the body is a single append of the key (or value)
+//     into a slice that is sorted later in the same function;
+//   - map rebuild: every write that escapes the loop is an assignment
+//     keyed by the loop's own key variable (each iteration touches a
+//     distinct entry), with only local declarations, local writes and
+//     error returns besides;
+//   - scalar reduction: no calls, no appends, only writes to simple
+//     local variables (max/min/sum/count folds);
+//   - clearing: the body is a single delete from a map.
+//
+// Everything else — and in particular a call statement like
+// report(...) or fmt.Fprintf(w, ...) inside the loop — is reported.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "output paths must not iterate maps without establishing an order",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	prog := pass.Prog
+	funcs := prog.Funcs()
+	graph := prog.CallGraph()
+
+	// Reachability from extra:output roots.
+	reachable := map[*types.Func]bool{}
+	var mark func(f *types.Func)
+	mark = func(f *types.Func) {
+		if reachable[f] {
+			return
+		}
+		reachable[f] = true
+		for _, callee := range graph[f] {
+			mark(callee)
+		}
+	}
+	for obj, fi := range funcs {
+		if fi.Ann.Output {
+			mark(obj)
+		}
+	}
+
+	for obj, fi := range funcs {
+		if !reachable[obj] || fi.Decl.Body == nil {
+			continue
+		}
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(info, fi.Decl, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration in %s is on a user-visible output path and its order is not fixed; collect and sort the keys first", obj.Name())
+			return true
+		})
+	}
+}
+
+// orderInsensitive applies the accepted idioms to one map range.
+func orderInsensitive(info *types.Info, decl *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	return isKeyCollect(info, decl, rng) ||
+		isClear(rng) ||
+		isScalarReduce(rng) ||
+		isKeyedRebuild(info, rng)
+}
+
+// isKeyCollect recognizes `for k := range m { s = append(s, k) }`
+// followed, later in the same function, by a sort of s. The append may
+// sit inside a single else-less if (a filter): filtering changes which
+// keys are collected, never their final sorted order.
+func isKeyCollect(info *types.Info, decl *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	stmt := rng.Body.List[0]
+	if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil && len(ifs.Body.List) == 1 {
+		stmt = ifs.Body.List[0]
+	}
+	asg, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	target, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	// The appended value must be the loop key or value.
+	appendsLoopVar := false
+	for _, arg := range call.Args[1:] {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if sameObj(info, id, rng.Key) || sameObj(info, id, rng.Value) {
+				appendsLoopVar = true
+			}
+		}
+	}
+	if !appendsLoopVar {
+		return false
+	}
+	// A sort call mentioning the slice after the loop makes it ordered.
+	sorted := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgID.Name != "sort" && pkgID.Name != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && sameObj(info, id, target) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isClear recognizes `for k := range m { delete(m2, k) }`.
+func isClear(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	es, ok := rng.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "delete"
+}
+
+// isScalarReduce recognizes pure folds: no calls, no escaping compound
+// writes — only if/assignments to plain identifiers. Early returns are
+// allowed when every return in the loop yields the same constant
+// literals (a short-circuit like `return -1`): whichever iteration
+// fires it, the result is identical, so order cannot show. Returns with
+// differing or non-constant results stay forbidden — there, iteration
+// order picks the winner.
+func isScalarReduce(rng *ast.RangeStmt) bool {
+	pure := true
+	retShape := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			pure = false
+		case *ast.ReturnStmt:
+			shape := constReturnShape(x)
+			if shape == "" {
+				pure = false
+			} else if retShape == "" {
+				retShape = shape
+			} else if retShape != shape {
+				pure = false
+			}
+		case *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			pure = false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if _, ok := lhs.(*ast.Ident); !ok {
+					pure = false
+				}
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// constReturnShape renders a return statement's results when they are
+// all literal constants (possibly signed); "" otherwise.
+func constReturnShape(ret *ast.ReturnStmt) string {
+	if len(ret.Results) == 0 {
+		return "<bare>"
+	}
+	shape := ""
+	for _, r := range ret.Results {
+		e := ast.Unparen(r)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+			shape += u.Op.String()
+		}
+		switch x := e.(type) {
+		case *ast.BasicLit:
+			shape += x.Value + ";"
+		case *ast.Ident:
+			switch x.Name {
+			case "true", "false", "nil":
+				shape += x.Name + ";"
+			default:
+				return ""
+			}
+		default:
+			return ""
+		}
+	}
+	return shape
+}
+
+// isKeyedRebuild recognizes loops whose escaping writes are all keyed
+// by the loop's own key variable: each iteration writes a distinct map
+// entry, so iteration order cannot show. Local declarations, writes to
+// body-local variables, nested non-map loops and `if err != nil
+// { return err }`-style error propagation are tolerated; early returns
+// that surface the loop key or value are not.
+func isKeyedRebuild(info *types.Info, rng *ast.RangeStmt) bool {
+	keyObj := objOf(info, rng.Key)
+	if keyObj == nil {
+		return false
+	}
+	valObj := objOf(info, rng.Value)
+	locals := map[types.Object]bool{}
+	// Collect variables declared inside the loop body (including the
+	// range value variable): writes to those cannot escape an iteration.
+	if vo := objOf(info, rng.Value); vo != nil {
+		locals[vo] = true
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							locals[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						locals[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			// A bare call statement's effects are invisible to us and
+			// must be assumed order-dependent.
+			if _, isCall := x.X.(*ast.CallExpr); isCall {
+				ok = false
+			}
+		case *ast.ReturnStmt:
+			// An early return that surfaces a loop variable (`return k`)
+			// leaks whichever entry iteration visited first; error
+			// propagation (`return err`) is tolerated.
+			for _, r := range x.Results {
+				if mentionsObj(info, r, keyObj) || (valObj != nil && mentionsObj(info, r, valObj)) {
+					ok = false
+				}
+			}
+		case *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			ok = false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && x != rng {
+					ok = false // nested map range: recurse via outer walk
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if !keyedOrLocalWrite(info, lhs, keyObj, locals) {
+					ok = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !keyedOrLocalWrite(info, x.X, keyObj, locals) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// keyedOrLocalWrite reports whether an assignment target is safe inside
+// a keyed-rebuild loop: a body-local variable, or an index expression
+// keyed by the loop key.
+func keyedOrLocalWrite(info *types.Info, lhs ast.Expr, keyObj types.Object, locals map[types.Object]bool) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return true
+		}
+		obj := objOf(info, x)
+		return obj != nil && locals[obj]
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok && objOf(info, id) == keyObj {
+			return true
+		}
+		// Indexing a body-local (e.g. a freshly built row) is fine too.
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			obj := objOf(info, base)
+			return obj != nil && locals[obj]
+		}
+	case *ast.SelectorExpr:
+		// Writes to fields of body-local values stay inside the iteration.
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			obj := objOf(info, base)
+			return obj != nil && locals[obj]
+		}
+	}
+	return false
+}
+
+// mentionsObj reports whether expression e references obj.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func sameObj(info *types.Info, a *ast.Ident, b ast.Expr) bool {
+	bid, ok := b.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa, ob := objOf(info, a), objOf(info, bid)
+	return oa != nil && oa == ob
+}

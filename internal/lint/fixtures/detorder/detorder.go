@@ -1,0 +1,124 @@
+// Package detorder is an extravet fixture: functions reachable from an
+// extra:output root must not iterate maps in an order-dependent way.
+// Each accepted idiom (key-collect-and-sort, filtered collect, scalar
+// reduction, uniform-constant early return, keyed rebuild, clearing)
+// appears once as a clean case, alongside flagged order-dependent loops
+// and an unreachable function that is exempt.
+package detorder
+
+import "sort"
+
+// Names lists the map's keys deterministically.
+//
+// extra:output
+func Names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filtered collects a subset of keys; the filter changes which keys are
+// kept, never their sorted order.
+//
+// extra:output
+func Filtered(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		if k != "" {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Max is a pure scalar fold.
+//
+// extra:output
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Has short-circuits with the same constant from every iteration.
+//
+// extra:output
+func Has(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebuild writes each iteration to a distinct key of the result.
+//
+// extra:output
+func Rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// Clear deletes every listed key.
+//
+// extra:output
+func Clear(m, drop map[string]int) {
+	for k := range drop {
+		delete(m, k)
+	}
+}
+
+// BadDump emits entries in map order.
+//
+// extra:output
+func BadDump(m map[string]int, emit func(string)) {
+	for k := range m { // want `order is not fixed`
+		emit(k)
+	}
+}
+
+// First returns whichever key iteration happens to visit first.
+//
+// extra:output
+func First(m map[string]int) string {
+	for k := range m { // want `order is not fixed`
+		return k
+	}
+	return ""
+}
+
+// helper is not a root itself, but Report reaches it.
+func helper(m map[string]int, emit func(string)) {
+	for k := range m { // want `order is not fixed`
+		emit(k)
+	}
+}
+
+// Report is the root that makes helper's iteration user-visible.
+//
+// extra:output
+func Report(m map[string]int, emit func(string)) {
+	helper(m, emit)
+}
+
+// internalScratch is reachable from no output root, so its map-order
+// dependence is none of detorder's business.
+func internalScratch(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k)
+	}
+}
+
+var _ = internalScratch

@@ -1,0 +1,142 @@
+// Package lockcheck is an extravet fixture reproducing the engine's
+// lock-split shape: a DB with an RWMutex statement lock, annotated
+// mutators and readers, scoped and held-on-return acquirers, and a
+// classify-then-dispatch statement switch. Lines marked with a
+// `// want` comment must produce exactly that diagnostic; unmarked
+// lines must stay clean.
+package lockcheck
+
+import "sync"
+
+type DB struct {
+	mu sync.RWMutex // extra:lock db.mu
+}
+
+// mutate writes DB state.
+//
+// extra:requires db.mu.W
+func (d *DB) mutate() {}
+
+// read observes DB state.
+//
+// extra:requires db.mu.R
+func (d *DB) read() {}
+
+// withLock takes and releases the lock itself.
+//
+// extra:acquires db.mu.W
+func (d *DB) withLock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mutate()
+}
+
+// lockShared returns with the shared lock still held, handing the
+// unlock back to the caller (the lockStatements shape).
+//
+// extra:holds db.mu.R
+func (d *DB) lockShared() func() {
+	d.mu.RLock()
+	return d.mu.RUnlock
+}
+
+func goodExclusive(d *DB) {
+	d.mu.Lock()
+	d.mutate()
+	d.mu.Unlock()
+}
+
+func goodShared(d *DB) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.read()
+}
+
+func goodAcquirer(d *DB) {
+	d.withLock()
+}
+
+func goodHolds(d *DB) {
+	unlock := d.lockShared()
+	defer unlock()
+	d.read()
+}
+
+func badNoLock(d *DB) {
+	d.mutate() // want `requires db.mu.W, but badNoLock holds no lock`
+}
+
+func badSharedForWrite(d *DB) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.mutate() // want `requires db.mu.W, but badSharedForWrite holds db.mu.R`
+}
+
+func badReentrant(d *DB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.withLock() // want `self-deadlock`
+}
+
+func badAfterUnlock(d *DB) {
+	d.mu.Lock()
+	d.mutate()
+	d.mu.Unlock()
+	d.mutate() // want `requires db.mu.W, but badAfterUnlock holds no lock`
+}
+
+func badHoldsThenWrite(d *DB) {
+	unlock := d.lockShared()
+	defer unlock()
+	d.mutate() // want `requires db.mu.W, but badHoldsThenWrite holds db.mu.R`
+}
+
+// Statement kinds mirroring the dispatcher: the case-arm type names
+// line up with lint.StmtClass, so the dispatch cross-check applies.
+type (
+	Retrieve        struct{ Into string }
+	Append          struct{}
+	Delete          struct{}
+	Replace         struct{}
+	SetStmt         struct{}
+	Execute         struct{}
+	DefineType      struct{}
+	DefineEnum      struct{}
+	DefineFunction  struct{}
+	DefineProcedure struct{}
+	DefineIndex     struct{}
+	Create          struct{}
+	Drop            struct{}
+	RangeDecl       struct{}
+	Grant           struct{}
+	Revoke          struct{}
+	Frobnicate      struct{} // deliberately absent from lint.StmtClass
+)
+
+// run dispatches one statement under the classify-then-lock scheme:
+// write-classified arms execute with the exclusive lock, so mutations
+// there are fine; the read-classified retrieve arm only has the shared
+// lock.
+//
+// extra:requires db.mu.R
+// extra:dispatch db.mu ReadOnly
+func run(d *DB, st any) {
+	switch st.(type) {
+	case *Retrieve:
+		d.read()
+		d.mutate() // want `requires db.mu.W, but run holds db.mu.R`
+	case *Append, *Delete, *Replace, *SetStmt, *Execute,
+		*DefineType, *DefineEnum, *DefineFunction, *DefineProcedure,
+		*DefineIndex, *Create, *Drop, *RangeDecl, *Grant, *Revoke:
+		d.mutate()
+	case *Frobnicate: // want `not classified in lint.StmtClass`
+		d.read()
+	}
+}
+
+// keep the otherwise-unused fixture entry points alive for the compiler
+var _ = []func(*DB){
+	goodExclusive, goodShared, goodAcquirer, goodHolds,
+	badNoLock, badSharedForWrite, badReentrant, badAfterUnlock, badHoldsThenWrite,
+}
+var _ = run

@@ -1,0 +1,75 @@
+// Package verbump is an extravet fixture: a miniature version-bearing
+// store (detected by its bump method and atomic version field) whose
+// exported mutators must bump the version — including mutation through
+// a local that aliases store state, the shape of the Release bug the
+// real analyzer caught.
+package verbump
+
+import "sync/atomic"
+
+type objInfo struct {
+	owner uint64
+}
+
+type Store struct {
+	version atomic.Uint64
+	omap    map[uint64]*objInfo
+	vars    map[string]int
+}
+
+func (s *Store) bump() { s.version.Add(1) }
+
+// Version reads the counter; no mutation anywhere.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// NewStore writes only to a store that has not escaped yet.
+func NewStore() *Store {
+	s := &Store{omap: map[uint64]*objInfo{}, vars: map[string]int{}}
+	s.vars["init"] = 0
+	return s
+}
+
+// Insert mutates and bumps: the contract honored.
+func (s *Store) Insert(id uint64) {
+	s.omap[id] = &objInfo{}
+	s.bump()
+}
+
+// Drop mutates via delete and bumps.
+func (s *Store) Drop(name string) {
+	delete(s.vars, name)
+	s.bump()
+}
+
+// Release mutates through an alias of store state without bumping —
+// the exact shape of the bug this analyzer exists for.
+func (s *Store) Release(id uint64) { // want `never bumps Store.Version`
+	if info, ok := s.omap[id]; ok {
+		info.owner = 0
+	}
+}
+
+// setRaw is an unexported helper; it may rely on its callers to bump.
+func (s *Store) setRaw(name string) { s.vars[name] = 1 }
+
+// SetBoth bumps after delegating the write: clean.
+func (s *Store) SetBoth(name string) {
+	s.setRaw(name)
+	s.bump()
+}
+
+// SetLeak delegates the write and forgets the bump.
+func (s *Store) SetLeak(name string) { // want `never bumps Store.Version`
+	s.setRaw(name)
+}
+
+// SetExternal's bump happens somewhere the checker cannot see; the
+// annotation is the escape hatch and must silence the finding.
+//
+// extra:bumps
+func (s *Store) SetExternal(name string) {
+	s.vars[name] = 2
+}
+
+// Get only reads.
+func (s *Store) Get(id uint64) *objInfo { return s.omap[id] }

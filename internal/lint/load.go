@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// LoadResult is a loaded program plus the packages that matched the
+// requested patterns (the ones whose diagnostics should be reported).
+type LoadResult struct {
+	Prog    *Program
+	Matched []string // import paths matched by the patterns
+}
+
+// Load type-checks the packages matched by patterns (relative to dir)
+// together with every main-module package they depend on. Main-module
+// packages are loaded from source so analyzers see function bodies
+// across package boundaries; everything else (the standard library) is
+// imported from `go list -export` export data, which works offline.
+func Load(dir string, patterns []string) (*LoadResult, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One invocation for the full dependency closure with export data,
+	// one for the pattern match set.
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	matched, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exportFiles := make(map[string]string)
+	for _, p := range deps {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	checked := make(map[string]*types.Package)
+	imp := &chainImporter{
+		checked: checked,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exportFiles[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	prog := &Program{Fset: fset}
+	for _, p := range deps { // dependency order: dependencies first
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !inMainModule(p) {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = tpkg
+		prog.Pkgs = append(prog.Pkgs, &Package{
+			Path:  p.ImportPath,
+			Types: tpkg,
+			Info:  info,
+			Files: files,
+		})
+	}
+
+	res := &LoadResult{Prog: prog}
+	for _, p := range matched {
+		res.Matched = append(res.Matched, p.ImportPath)
+	}
+	return res, nil
+}
+
+// inMainModule reports whether a listed package belongs to the module
+// being analyzed (as opposed to the standard library).
+func inMainModule(p *listedPkg) bool {
+	return !p.Standard && p.Module != nil && p.Module.Main
+}
+
+// chainImporter serves already-checked source packages first and falls
+// back to gc export data for everything else.
+type chainImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ci.checked[path]; ok {
+		return pkg, nil
+	}
+	return ci.gc.Import(path)
+}
+
+// goList shells out to the go command, which resolves patterns, builds
+// export data into the local build cache, and needs no network.
+func goList(dir string, args []string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var out []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}

@@ -234,6 +234,8 @@ type Snapshot struct {
 }
 
 // Snapshot copies every metric's current value.
+//
+// extra:output
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -266,6 +268,8 @@ func (r *Registry) Snapshot() Snapshot {
 
 // WriteText renders the snapshot as aligned human-readable lines,
 // sorted by metric name.
+//
+// extra:output
 func (s Snapshot) WriteText(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {

@@ -2,8 +2,10 @@ package object
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/oid"
+	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -22,6 +24,11 @@ import (
 //   - unique indexes hold no duplicate keys.
 //
 // It returns the list of violations found (empty means consistent).
+// Violations come back in a fixed order (objects by OID, extents by
+// name, records by RID) so two fscks of the same store produce the same
+// report — map iteration order never leaks into the output.
+//
+// extra:output
 func (s *Store) CheckConsistency() []string {
 	var bad []string
 	report := func(format string, args ...any) {
@@ -30,7 +37,8 @@ func (s *Store) CheckConsistency() []string {
 
 	// Pass 1: decode every object, record owned references.
 	ownedRefs := map[oid.OID]oid.OID{} // component -> owner (from data)
-	for id, info := range s.omap {
+	for _, id := range sortedOIDs(s.omap) {
+		info := s.omap[id]
 		tv, ok, err := s.Get(id)
 		if err != nil {
 			report("object %s: unreadable: %v", id, err)
@@ -52,7 +60,8 @@ func (s *Store) CheckConsistency() []string {
 		}
 	}
 	// Pass 2: ownership symmetry.
-	for compID, ownerFromData := range ownedRefs {
+	for _, compID := range sortedOIDs(ownedRefs) {
+		ownerFromData := ownedRefs[compID]
 		info, live := s.omap[compID]
 		if !live {
 			report("own-ref component %s (of %s) is dead", compID, ownerFromData)
@@ -65,7 +74,8 @@ func (s *Store) CheckConsistency() []string {
 			report("component %s: recorded owner %s, referenced by %s", compID, info.owner, ownerFromData)
 		}
 	}
-	for id, info := range s.omap {
+	for _, id := range sortedOIDs(s.omap) {
+		info := s.omap[id]
 		if info.extent == "" && !info.owner.IsNil() {
 			if _, referenced := ownedRefs[id]; !referenced {
 				report("component %s: owner %s holds no reference to it", id, info.owner)
@@ -73,8 +83,10 @@ func (s *Store) CheckConsistency() []string {
 		}
 	}
 	// Pass 3: extent reverse maps.
-	for ext, byRID := range s.rids {
-		for rid, id := range byRID {
+	for _, ext := range sortedKeys(s.rids) {
+		byRID := s.rids[ext]
+		for _, rid := range sortedRIDs(byRID) {
+			id := byRID[rid]
 			info, live := s.omap[id]
 			if !live {
 				report("extent %s: rid map points at dead %s", ext, id)
@@ -85,7 +97,8 @@ func (s *Store) CheckConsistency() []string {
 			}
 		}
 	}
-	for id, info := range s.omap {
+	for _, id := range sortedOIDs(s.omap) {
+		info := s.omap[id]
 		if info.extent == "" {
 			continue
 		}
@@ -141,10 +154,40 @@ func (s *Store) CheckConsistency() []string {
 }
 
 func (s *Store) extentNames() []string {
-	out := make([]string, 0, len(s.extents))
-	for n := range s.extents {
+	return sortedKeys(s.extents)
+}
+
+// sortedOIDs returns a map's OID keys in ascending order; the fsck
+// iterates through these so its report order is deterministic.
+func sortedOIDs[T any](m map[oid.OID]T) []oid.OID {
+	out := make([]oid.OID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
 		out = append(out, n)
 	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedRIDs[T any](m map[storage.RID]T) []storage.RID {
+	out := make([]storage.RID, 0, len(m))
+	for rid := range m {
+		out = append(out, rid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		return out[i].Slot < out[j].Slot
+	})
 	return out
 }
 

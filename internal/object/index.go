@@ -85,6 +85,8 @@ func indexKey(tv *value.Tuple, ix *catalog.Index) ([]byte, bool) {
 // contents, and registers it in the catalog. Unique indexes additionally
 // enforce that no two live objects share a key; backfill fails on an
 // existing violation.
+//
+// extra:requires db.mu.W
 func (s *Store) BuildIndex(name, extent string, path []string, unique bool) (*catalog.Index, error) {
 	v, ok := s.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {
@@ -107,6 +109,8 @@ func (s *Store) BuildIndex(name, extent string, path []string, unique bool) (*ca
 
 // BuildKey registers a key constraint on a set instance: a hidden unique
 // index over the given own scalar attributes.
+//
+// extra:requires db.mu.W
 func (s *Store) BuildKey(extent string, attrs []string, n int) (*catalog.Index, error) {
 	v, ok := s.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {

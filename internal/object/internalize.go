@@ -168,10 +168,15 @@ func (s *Store) claim(id oid.OID, owner oid.OID) error {
 
 // Release detaches an own-ref component from its owner without
 // destroying it (used when an update moves a component between owners in
-// one statement).
+// one statement). Ownership is part of the object's stored state (Owner
+// reads it, the fsck checks it), so releasing bumps the store version
+// like any other mutation.
+//
+// extra:requires db.mu.W
 func (s *Store) Release(id oid.OID) {
 	if info, ok := s.omap[id]; ok {
 		info.owner = oid.Nil
+		s.bump()
 	}
 }
 
@@ -212,6 +217,8 @@ func collectOwned(comp types.Component, v value.Value, out map[oid.OID]bool) {
 
 // destroyOwned recursively destroys the own-ref components reachable
 // from a value being discarded.
+//
+// extra:requires db.mu.W
 func (s *Store) destroyOwned(comp types.Component, v value.Value) error {
 	owned := map[oid.OID]bool{}
 	collectOwned(comp, v, owned)

@@ -1,0 +1,66 @@
+package object
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/oid"
+)
+
+// TestReleaseBumpsVersion pins the fix for the missing version bump in
+// Store.Release: ownership is stored state, so releasing a component
+// must advance the mutation counter or deref/extent caches keyed on it
+// serve stale data. (The verbump analyzer guards the same contract
+// statically.)
+func TestReleaseBumpsVersion(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.store.Insert("People", f.newPerson("Ann", 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := f.store.Version()
+	f.store.Release(id)
+	if got := f.store.Version(); got != v0+1 {
+		t.Errorf("Release did not bump version: %d -> %d", v0, got)
+	}
+	// Releasing a missing object mutates nothing and must not bump.
+	v1 := f.store.Version()
+	f.store.Release(oid.OID(1 << 40))
+	if got := f.store.Version(); got != v1 {
+		t.Errorf("Release of missing object bumped version: %d -> %d", v1, got)
+	}
+}
+
+// TestCheckConsistencyDeterministic pins the fix for the fsck's report
+// order: with several violations present, two runs over the same store
+// must produce identical reports. Before the fix the passes ranged over
+// maps directly, so the order flickered between runs. (The detorder
+// analyzer guards the same contract statically.)
+func TestCheckConsistencyDeterministic(t *testing.T) {
+	f := newFixture(t)
+	var ids []oid.OID
+	for _, name := range []string{"Ann", "Bob", "Cid", "Dee", "Eve", "Fay"} {
+		id, err := f.store.Insert("People", f.newPerson(name, 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Violation 1..6: every object owned by a distinct dead owner.
+	for i, id := range ids {
+		f.store.omap[id].owner = oid.OID(1<<40 + uint64(i))
+	}
+	// Violation 7: one object missing from the extent's rid map.
+	delete(f.store.rids["People"], f.store.omap[ids[3]].rid)
+
+	first := f.store.CheckConsistency()
+	if len(first) != 7 {
+		t.Fatalf("expected 7 violations, got %d: %q", len(first), first)
+	}
+	for run := 0; run < 10; run++ {
+		again := f.store.CheckConsistency()
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("fsck output not deterministic:\nfirst: %q\nagain: %q", first, again)
+		}
+	}
+}

@@ -74,6 +74,8 @@ func (s *Store) ExportVar(name string) ([]byte, error) {
 // RestoreObject re-creates an object with its original identity. The
 // extent (or the nursery for components) must already exist; the encoded
 // tuple is stored verbatim and indexed.
+//
+// extra:requires db.mu.W
 func (s *Store) RestoreObject(o ExportObject) error {
 	s.bump()
 	if s.Exists(o.OID) {
@@ -110,6 +112,8 @@ func (s *Store) RestoreObject(o ExportObject) error {
 }
 
 // RestoreElem re-creates one element of a ref/value-set extent.
+//
+// extra:requires db.mu.W
 func (s *Store) RestoreElem(extent string, data []byte) error {
 	s.bump()
 	h, ok := s.elems[extent]
@@ -122,6 +126,8 @@ func (s *Store) RestoreElem(extent string, data []byte) error {
 
 // RestoreVar overwrites a singleton/array variable with a dumped value
 // without ownership processing.
+//
+// extra:requires db.mu.W
 func (s *Store) RestoreVar(name string, data []byte) error {
 	s.bump()
 	rid, ok := s.varRID[name]

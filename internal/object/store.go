@@ -99,6 +99,8 @@ func (s *Store) Pool() *storage.BufferPool { return s.pool }
 // Object-set extents get a heap file; ref/value sets get an element heap;
 // singletons and arrays get a slot in the variable heap initialized to
 // null (or an array of nulls for fixed arrays).
+//
+// extra:requires db.mu.W
 func (s *Store) InitVar(v *catalog.Variable) error {
 	s.bump()
 	switch {
@@ -131,6 +133,8 @@ func (s *Store) InitVar(v *catalog.Variable) error {
 }
 
 // DropVar destroys a database variable and everything it owns.
+//
+// extra:requires db.mu.W
 func (s *Store) DropVar(v *catalog.Variable) error {
 	s.bump()
 	switch {
@@ -186,6 +190,8 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 // nursery objects referenced by OID, and pre-existing references are
 // claimed (failing if already owned elsewhere). The tuple value passed in
 // is not retained.
+//
+// extra:requires db.mu.W
 func (s *Store) Insert(extent string, tv *value.Tuple) (oid.OID, error) {
 	s.bump()
 	h, ok := s.extents[extent]
@@ -271,6 +277,8 @@ func (s *Store) heapFor(info *objInfo) *storage.HeapFile {
 // Delete destroys an object: removes it from its heap, destroys every
 // own-ref component it owns (recursively), and removes its index
 // entries. References elsewhere are left dangling and read as null.
+//
+// extra:requires db.mu.W
 func (s *Store) Delete(id oid.OID) error {
 	s.bump()
 	info, ok := s.omap[id]
@@ -300,6 +308,8 @@ func (s *Store) Delete(id oid.OID) error {
 
 // Update rewrites an object's stored value. Own-ref components removed by
 // the update are destroyed; components added are created or claimed.
+//
+// extra:requires db.mu.W
 func (s *Store) Update(id oid.OID, tv *value.Tuple) error {
 	s.bump()
 	info, ok := s.omap[id]

@@ -39,6 +39,8 @@ func (s *Store) GetVar(name string) (value.Value, error) {
 
 // SetVar replaces the value of a singleton or array variable, destroying
 // own-ref components the old value owned and internalizing the new one.
+//
+// extra:requires db.mu.W
 func (s *Store) SetVar(name string, nv value.Value) error {
 	s.bump()
 	v, ok := s.cat.Var(name)
@@ -84,6 +86,8 @@ func (s *Store) SetVar(name string, nv value.Value) error {
 // Element extents: sets of references and sets of plain values.
 
 // InsertElem appends a value to a ref-set or value-set extent.
+//
+// extra:requires db.mu.W
 func (s *Store) InsertElem(extent string, v value.Value) error {
 	s.bump()
 	h, ok := s.elems[extent]
@@ -114,6 +118,8 @@ func (s *Store) ScanElems(extent string, fn func(rid storage.RID, v value.Value)
 }
 
 // DeleteElem removes one element record from a ref/value-set extent.
+//
+// extra:requires db.mu.W
 func (s *Store) DeleteElem(extent string, rid storage.RID) error {
 	s.bump()
 	h, ok := s.elems[extent]

@@ -333,9 +333,11 @@ func (h *HeapFile) pageWithRoom(n int) (PageID, error) {
 			return pid, nil
 		}
 	}
-	// Fall back to any cached page with room.
-	for pid, free := range h.avail {
-		if free >= n+slotSize {
+	// Fall back to the first page with room in allocation order. (Not a
+	// map range over h.avail: that would make record placement — and so
+	// extent scan order and dump output — vary from run to run.)
+	for _, pid := range h.pages {
+		if free, ok := h.avail[pid]; ok && free >= n+slotSize {
 			return pid, nil
 		}
 	}

@@ -1,0 +1,43 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPageWithRoomFallbackDeterministic pins the fix for nondeterministic
+// record placement: when the recent-page window is full, the fallback
+// must pick the first page with room in allocation order, not whichever
+// a map range happens to visit first — placement feeds extent scan
+// order, which feeds dump output.
+func TestPageWithRoomFallbackDeterministic(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		h, _ := newTestHeap()
+		// Pages 1-4: one record each, leaving ~200 bytes of room (too
+		// little for the next roomy record, enough for a small one).
+		roomy := bytes.Repeat([]byte{0xab}, MaxRecord(PageSize)-1-200)
+		for i := 0; i < 4; i++ {
+			if _, err := h.Insert(roomy); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Pages 5-8: filled exactly (stored record = 1 tag byte + payload),
+		// so the recent-4 window has no room at all.
+		full := bytes.Repeat([]byte{0xcd}, MaxRecord(PageSize)-1)
+		for i := 0; i < 4; i++ {
+			if _, err := h.Insert(full); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h.NumPages() != 8 {
+			t.Fatalf("expected 8 pages, got %d", h.NumPages())
+		}
+		rid, err := h.Insert([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := h.Pages()[0]; rid.Page != want {
+			t.Fatalf("trial %d: small record landed on page %d, want first page with room %d", trial, rid.Page, want)
+		}
+	}
+}

@@ -50,6 +50,8 @@ func (s *Session) ID() int64 { return s.id }
 
 // SetUser switches the session's current user; subsequent statements run
 // with that user's privileges.
+//
+// extra:acquires db.mu.W
 func (s *Session) SetUser(name string) error {
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
@@ -61,6 +63,8 @@ func (s *Session) SetUser(name string) error {
 }
 
 // CurrentUser returns the session's user.
+//
+// extra:acquires db.mu.R
 func (s *Session) CurrentUser() string {
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
@@ -69,7 +73,11 @@ func (s *Session) CurrentUser() string {
 
 // lockStatements takes the appropriate side of the statement lock for a
 // batch that is (or is not) entirely read-only, returning the matching
-// unlock.
+// unlock. The annotation records the shared mode — the weakest guarantee
+// a caller may assume; write batches hold the exclusive side at run
+// time, which runStmt's dispatch annotation models per statement arm.
+//
+// extra:holds db.mu.R
 func (db *DB) lockStatements(readOnly bool) func() {
 	if readOnly {
 		db.mu.RLock()
@@ -186,7 +194,13 @@ func (s *Session) MustQuery(src string) *Result {
 // execution state. params provides the parameter scope when executing
 // procedure bodies; tr (optional) accumulates phase durations for the
 // statement-level trace. Callers hold the statement lock on the side
-// sema.ReadOnly prescribes for st.
+// sema.ReadOnly prescribes for st: at least shared always, and exclusive
+// inside every arm whose statement kind is write-classified — that is
+// what the dispatch annotation below tells the lock checker, which in
+// turn cross-checks the arms against lint.StmtClass.
+//
+// extra:requires db.mu.R
+// extra:dispatch db.mu sema.ReadOnly
 func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, tr *stmtTrace) (*Result, error) {
 	db := s.db
 	db.metrics.Counter("stmt." + sema.KindOf(st)).Inc()
@@ -374,6 +388,8 @@ func withParamsN(es *exec.State, params *paramScope, fn func() (int, error)) (in
 
 // runExecute evaluates a procedure invocation: the body runs once per
 // binding of the from/where clause with arguments as parameters.
+//
+// extra:requires db.mu.W
 func (s *Session) runExecute(es *exec.State, stmt *ast.Execute, params *paramScope) error {
 	ck := s.checker(params)
 	ce, err := ck.CheckExecute(stmt)
