@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [-slow 1ms] [script.xs ...]
+//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [-slow 1ms] [-trace N] [-serve addr] [script.xs ...]
 //
 // With script arguments the files are executed in order and the shell
 // exits; otherwise an interactive prompt reads statements from stdin.
@@ -19,7 +19,10 @@
 //	\explain QUERY  show the optimizer's plan for a retrieve
 //	\analyze [json] QUERY
 //	                execute a retrieve and show per-operator actuals
-//	\slow           list slow-query log entries (with session attribution)
+//	\slow           list slow-query log entries (with session and trace attribution)
+//	\trace on|off|last|every N
+//	                control statement-trace sampling; \trace last renders
+//	                the most recent sampled statement's span tree
 //	\user [NAME]    show or switch the shell session's user
 //	\optimizer on|off
 //	\quit
@@ -31,9 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	extra "repro"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -41,6 +46,8 @@ func main() {
 	pool := flag.Int("pool", 256, "buffer pool size in pages")
 	load := flag.String("load", "", "replay a Dump snapshot before starting")
 	slow := flag.Duration("slow", 0, "slow-query log threshold for \\slow (0 = default 100ms)")
+	traceN := flag.Int("trace", 0, "sample every Nth statement into the trace ring (0 = off)")
+	serve := flag.String("serve", "", "serve the ops plane (/metrics, /statz, /traces, pprof) on this address")
 	flag.Parse()
 
 	var opts []extra.Option
@@ -51,12 +58,21 @@ func main() {
 	if *slow > 0 {
 		opts = append(opts, extra.WithSlowQueryLog(*slow, 64))
 	}
+	if *traceN > 0 {
+		opts = append(opts, extra.WithTracing(*traceN, 64))
+	}
+	if *serve != "" {
+		opts = append(opts, extra.WithDebugServer(*serve))
+	}
 	db, err := extra.Open(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "excess:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	if *serve != "" {
+		fmt.Fprintln(os.Stderr, "excess: ops plane on http://"+db.DebugAddr())
+	}
 
 	if *load != "" {
 		if err := db.LoadFile(*load); err != nil {
@@ -165,7 +181,7 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`, `\h`:
-		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \user [NAME] \optimizer on|off \quit`)
+		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \trace on|off|last|every N \user [NAME] \optimizer on|off \quit`)
 	case `\types`:
 		for _, n := range db.Catalog().TupleTypeNames() {
 			fmt.Println(" ", n)
@@ -248,9 +264,48 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 			break
 		}
 		for _, e := range entries {
-			fmt.Printf("  [session %d] %s  total=%v rows=%d (parse=%v check=%v plan=%v execute=%v)\n",
+			link := ""
+			if e.TraceID != 0 {
+				link = fmt.Sprintf(" trace=%d", e.TraceID)
+			}
+			fmt.Printf("  [session %d] %s  total=%v rows=%d (parse=%v check=%v plan=%v execute=%v)%s\n",
 				e.Session, strings.Join(strings.Fields(e.Src), " "), e.Total, e.Rows,
-				e.Parse, e.Check, e.Plan, e.Execute)
+				e.Parse, e.Check, e.Plan, e.Execute, link)
+		}
+	case `\trace`:
+		if len(fields) < 2 {
+			fmt.Printf("  sampling every=%d, %d traces retained; usage: \\trace on|off|last|every N\n",
+				db.Tracer().Every(), len(db.Traces()))
+			break
+		}
+		switch fields[1] {
+		case "on":
+			db.SetTraceSampling(1)
+			fmt.Println("  tracing every statement")
+		case "off":
+			db.SetTraceSampling(0)
+			fmt.Println("  tracing off")
+		case "every":
+			if len(fields) < 3 {
+				fmt.Println("usage: \\trace every N")
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				fmt.Println("error: N must be a non-negative integer")
+				break
+			}
+			db.SetTraceSampling(n)
+			fmt.Printf("  tracing 1 in %d statements\n", n)
+		case "last":
+			tr := db.LastTrace()
+			if tr == nil {
+				fmt.Println("  no trace retained (is sampling on? try \\trace on)")
+				break
+			}
+			fmt.Print(trace.Render(tr))
+		default:
+			fmt.Println("usage: \\trace on|off|last|every N")
 		}
 	case `\user`:
 		if len(fields) < 2 {

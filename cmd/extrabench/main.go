@@ -1,10 +1,10 @@
 // Command extrabench regenerates every experiment in EXPERIMENTS.md: the
 // functional reproductions of the paper's figures (F1–F7) and the
-// performance characterization of its design choices (B1–B12).
+// performance characterization of its design choices (B1–B12, B15).
 //
 // Usage:
 //
-//	extrabench [-exp all|F1,...,B12] [-reps 20] [-par N]
+//	extrabench [-exp all|F1,...,B15] [-reps 20] [-par N] [-traceout out.json]
 //
 // Each experiment prints the table rows recorded in EXPERIMENTS.md.
 package main
@@ -21,6 +21,7 @@ import (
 	"time"
 
 	extra "repro"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -31,6 +32,9 @@ var par = flag.Int("par", 0,
 
 var statsMode = flag.String("stats", "",
 	`dump the metrics registry of each experiment's last database after its phase: "text" or "json"`)
+
+var traceOut = flag.String("traceout", "",
+	"B15: write the always-on pass's retained statement traces to this file as Chrome trace_event JSON")
 
 // lastDB tracks the most recently opened database so -stats can dump
 // its registry when the experiment finishes (counters stay readable
@@ -65,7 +69,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B12) or all")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B12, B15) or all")
 	flag.Parse()
 
 	exps := []experiment{
@@ -88,6 +92,7 @@ func main() {
 		{"B10", "buffer pool working-set cliff", b10},
 		{"B11", "join methods: hash vs nested, deref cache on vs off", b11},
 		{"B12", "parallel read throughput: sessions sharing the read lock", b12},
+		{"B15", "tracing overhead: off vs sampled 1-in-100 vs always-on", b15},
 	}
 	want := map[string]bool{}
 	all := *expFlag == "all"
@@ -769,5 +774,91 @@ func b12() error {
 		return err
 	}
 	fmt.Println("  wrote BENCH_concurrency.json")
+	return nil
+}
+
+// obsRecord is one line of BENCH_observability.json: median statement
+// latency under one tracing configuration, with its overhead relative
+// to the tracing-off baseline. This is the enforcement artifact for the
+// overhead contract in DESIGN.md §9 (disabled tracing must stay within
+// noise of the untraced engine).
+type obsRecord struct {
+	Name        string  `json:"name"`
+	Every       int     `json:"sample_every"`
+	NsOp        int64   `json:"ns_per_op"`
+	Rows        int     `json:"rows"`
+	OverheadPct float64 `json:"overhead_pct_vs_off"`
+}
+
+// b15 measures the cost of statement tracing on the Figure 5
+// implicit-join workload at three sampling rates: off (every=0, the
+// production default), 1-in-100 (always-affordable ops setting), and
+// always-on (every=1, the debugging setting — every retrieve also pays
+// the EXPLAIN ANALYZE runtime counters that feed its operator spans).
+// Writes BENCH_observability.json; with -traceout, also dumps the
+// always-on pass's retained traces as Chrome trace_event JSON.
+func b15() error {
+	db, err := openW(workload.Params{Departments: 20, Employees: 2000, Floors: 5, Seed: 15}, 8192)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	q := `retrieve (E.name) from E in Employees where E.dept.floor = 2`
+	if _, err := db.Query(q); err != nil { // warm the pool and plan path
+		return err
+	}
+
+	configs := []struct {
+		name  string
+		every int
+	}{
+		{"TraceOff", 0},
+		{"TraceSampled100", 100},
+		{"TraceAlways", 1},
+	}
+	row("config", "every", "median", "rows", "overhead")
+	var recs []obsRecord
+	var base time.Duration
+	for _, c := range configs {
+		db.SetTraceSampling(c.every)
+		d, rows, err := timeQuery(db, q)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = d
+		}
+		overhead := (float64(d)/float64(base) - 1) * 100
+		row(c.name, c.every, d, rows, fmt.Sprintf("%+.1f%%", overhead))
+		recs = append(recs, obsRecord{
+			Name: c.name, Every: c.every, NsOp: d.Nanoseconds(),
+			Rows: rows, OverheadPct: overhead,
+		})
+	}
+	db.SetTraceSampling(0)
+
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_observability.json", append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_observability.json")
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, db.Traces()...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("  wrote", *traceOut)
+	}
 	return nil
 }

@@ -51,6 +51,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -121,6 +122,14 @@ type DB struct {
 	slowCap       int
 	slow          []SlowQuery
 	slowNext      int
+
+	// tracer owns statement-trace sampling and the ring of completed
+	// span trees (see tracing.go); labelStmts turns on per-statement
+	// runtime/pprof labels, set when the ops-plane debug server is up so
+	// CPU profiles attribute samples to sessions and statement kinds.
+	tracer     *trace.Tracer
+	labelStmts atomic.Bool
+	debug      *debugServer
 }
 
 // Option configures Open.
@@ -131,6 +140,9 @@ type config struct {
 	filePath      string
 	slowThreshold time.Duration
 	slowCap       int
+	traceEvery    int
+	traceCap      int
+	debugAddr     string
 }
 
 // WithPoolSize sets the buffer pool capacity in pages (default 256).
@@ -157,7 +169,7 @@ func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
 // Open creates a database. The ADT registry comes preloaded with the
 // built-in Date and Complex types of the paper's figures.
 func Open(opts ...Option) (*DB, error) {
-	cfg := config{poolPages: 256, slowThreshold: 100 * time.Millisecond, slowCap: 32}
+	cfg := config{poolPages: 256, slowThreshold: 100 * time.Millisecond, slowCap: 32, traceCap: 16}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -198,9 +210,17 @@ func Open(opts ...Option) (*DB, error) {
 
 		slowThreshold: cfg.slowThreshold,
 		slowCap:       cfg.slowCap,
+
+		tracer: trace.NewTracer(cfg.traceEvery, cfg.traceCap),
 	}
 	db.exec.SetMetrics(mreg)
 	db.def = &Session{db: db, id: 0, user: "dba", sem: sema.NewSession()}
+	if cfg.debugAddr != "" {
+		if err := db.startDebugServer(cfg.debugAddr); err != nil {
+			db.pool.Store().Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -208,6 +228,7 @@ func Open(opts ...Option) (*DB, error) {
 //
 // extra:acquires db.mu.W
 func (db *DB) Close() error {
+	db.stopDebugServer()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -274,7 +295,10 @@ func (db *DB) MetricsSnapshot() MetricsSnapshot {
 }
 
 // SlowQuery is one slow-query log entry: the statement source with its
-// phase breakdown, result size and the session that ran it.
+// phase breakdown, result size and the session that ran it. When the
+// statement was also trace-sampled, TraceID links to the full span tree
+// (DB.TraceByID, the shell's \trace, or the ops plane's /traces/{id});
+// 0 means the statement was not sampled.
 type SlowQuery struct {
 	Src     string        `json:"src"`
 	Session int64         `json:"session"`
@@ -285,6 +309,7 @@ type SlowQuery struct {
 	Plan    time.Duration `json:"plan_ns"`
 	Execute time.Duration `json:"execute_ns"`
 	Rows    int           `json:"rows"`
+	TraceID uint64        `json:"trace_id,omitempty"`
 }
 
 // SlowQueries returns the retained slow statements, oldest first.
@@ -310,46 +335,6 @@ func (db *DB) SetSlowQueryThreshold(d time.Duration) {
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
 	db.slowThreshold = d
-}
-
-// stmtTrace accumulates phase durations and result size across the
-// statements of one Exec/Query call.
-type stmtTrace struct {
-	check, plan, execute time.Duration
-	rows                 int
-}
-
-// finishTrace records one finished Exec/Query call into the registry
-// and, when over threshold, the slow-query log with the running
-// session's id. The histograms are atomic; only the slow-query ring
-// needs its lock, so concurrent readers finishing simultaneously
-// contend only on that.
-//
-// extra:acquires db.slowMu.W
-func (db *DB) finishTrace(s *Session, src string, parse time.Duration, tr *stmtTrace, start time.Time) {
-	total := time.Since(start)
-	db.hParse.Observe(parse)
-	db.hCheck.Observe(tr.check)
-	db.hPlan.Observe(tr.plan)
-	db.hExecute.Observe(tr.execute)
-	db.hStmt.Observe(total)
-	db.cRows.Add(uint64(tr.rows))
-	db.slowMu.Lock()
-	defer db.slowMu.Unlock()
-	if db.slowThreshold > 0 && total >= db.slowThreshold {
-		entry := SlowQuery{
-			Src: src, Session: s.id, When: time.Now(), Total: total,
-			Parse: parse, Check: tr.check, Plan: tr.plan, Execute: tr.execute,
-			Rows: tr.rows,
-		}
-		if len(db.slow) < db.slowCap {
-			db.slow = append(db.slow, entry)
-			db.slowNext = len(db.slow) % db.slowCap
-		} else {
-			db.slow[db.slowNext] = entry
-			db.slowNext = (db.slowNext + 1) % db.slowCap
-		}
-	}
 }
 
 // Exec parses and runs one or more EXCESS statements on the default

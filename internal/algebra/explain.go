@@ -40,6 +40,11 @@ func (p *Plan) Explain() string {
 	return b.String()
 }
 
+// DescribeNode renders one plan node's operator line — "scan Employees
+// binding E", "index probe emp_sal …" — the vocabulary shared by
+// Explain, EXPLAIN ANALYZE and the span tracer's operator spans.
+func DescribeNode(n *Node) string { return describeNode(n) }
+
 func describeNode(n *Node) string {
 	v := n.Var
 	name := v.Name

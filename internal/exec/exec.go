@@ -20,6 +20,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -83,6 +84,11 @@ type State struct {
 	derefVersion uint64
 	derefHits    int64
 	derefMisses  int64
+
+	// tr is the sampled statement's span builder, nil for the unsampled
+	// (vast) majority — all span calls through it are nil-receiver
+	// no-ops. See SetTrace.
+	tr *trace.Active
 }
 
 // boundBody is a memoized function body.

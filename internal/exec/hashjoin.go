@@ -7,6 +7,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/codec"
 	"repro/internal/excess/sema"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -99,6 +100,10 @@ func mentionsOnlyVar(e sema.Expr, v *sema.Var) bool {
 // conjuncts local to the node's variable, keying each surviving row on
 // the build expression.
 func (ex *State) buildJoinTable(n *algebra.Node) (*joinTable, error) {
+	// The build is a discrete materializing step (unlike the per-row
+	// pipeline), so it earns a live operator span when sampled.
+	sp := ex.tr.StartSpan(trace.KindOperator, "hash build "+n.Var.Extent+" binding "+n.Var.Name)
+	defer ex.tr.EndSpan(sp)
 	t := &joinTable{groups: make(map[string][]joinEntry)}
 	var local []sema.Expr
 	for _, f := range n.Filter {
@@ -143,6 +148,7 @@ func (ex *State) buildJoinTable(n *algebra.Node) (*joinTable, error) {
 		ex.cHashBuilds.Inc()
 		ex.cHashBuildRows.Add(uint64(t.buildRows))
 	}
+	ex.tr.AttrInt(sp, "build_rows", t.buildRows)
 	return t, nil
 }
 

@@ -15,7 +15,7 @@ import (
 // statement has no bindings).
 //
 // extra:requires db.mu.W
-func (ex *State) Append(ca *sema.CheckedAppend) (int, error) {
+func (ex *State) appendStmt(ca *sema.CheckedAppend) (int, error) {
 	type job struct {
 		elem  value.Value
 		owner prov // target location for nested appends
@@ -250,7 +250,7 @@ func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) 
 // their collection, destroying owned objects.
 //
 // extra:requires db.mu.W
-func (ex *State) Delete(cd *sema.CheckedDelete) (int, error) {
+func (ex *State) deleteStmt(cd *sema.CheckedDelete) (int, error) {
 	var objs []oid.OID
 	var elems []prov
 	type nestedDel struct {
@@ -348,7 +348,7 @@ func stepsKey(steps []sema.Step) string {
 // own elements without identity).
 //
 // extra:requires db.mu.W
-func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
+func (ex *State) replaceStmt(cr *sema.CheckedReplace) (int, error) {
 	type job struct {
 		pr   prov
 		vals []value.Value
@@ -419,7 +419,7 @@ func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 // no variables always has its one empty binding).
 //
 // extra:requires db.mu.W
-func (ex *State) Set(cs *sema.CheckedSet) error {
+func (ex *State) setStmt(cs *sema.CheckedSet) error {
 	var rows []*binding
 	plan := ex.Plan(cs.Query)
 	err := ex.Run(plan, func(b *binding) error {
@@ -482,7 +482,7 @@ func (ex *State) Set(cs *sema.CheckedSet) error {
 // parameters (the generalized IDM stored command).
 //
 // extra:requires db.mu.W
-func (ex *State) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
+func (ex *State) executeStmt(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
 	type frame = map[string]value.Value
 	var frames []frame
 	plan := ex.Plan(ce.Query)

@@ -6,7 +6,11 @@
 // and an unreachable function that is exempt.
 package detorder
 
-import "sort"
+import (
+	"fmt"
+	"io"
+	"sort"
+)
 
 // Names lists the map's keys deterministically.
 //
@@ -111,6 +115,32 @@ func helper(m map[string]int, emit func(string)) {
 // extra:output
 func Report(m map[string]int, emit func(string)) {
 	helper(m, emit)
+}
+
+// BadExport renders a text exposition in map order — the regression
+// class the Prometheus and Chrome trace exporters must avoid: two
+// scrapes of the same state would produce different documents.
+//
+// extra:output
+func BadExport(w io.Writer, m map[string]uint64) {
+	for k, v := range m { // want `order is not fixed`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// Export is the accepted exporter shape: collect the metric names, sort
+// them, then render in that fixed order.
+//
+// extra:output
+func Export(w io.Writer, m map[string]uint64) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
 }
 
 // internalScratch is reachable from no output root, so its map-order

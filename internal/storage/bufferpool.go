@@ -23,6 +23,19 @@ type PoolStats struct {
 	WriteBacks uint64
 }
 
+// Sub returns the counter deltas s - prev. Counters are monotonic, so
+// bracketing a run with two Stats() calls and subtracting attributes
+// the traffic in between (approximately, under concurrent statements).
+func (s PoolStats) Sub(prev PoolStats) PoolStats {
+	return PoolStats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		Evictions:  s.Evictions - prev.Evictions,
+		Flushes:    s.Flushes - prev.Flushes,
+		WriteBacks: s.WriteBacks - prev.WriteBacks,
+	}
+}
+
 // HitRate returns hits / (hits + misses), or 0 when idle.
 func (s PoolStats) HitRate() float64 {
 	t := s.Hits + s.Misses

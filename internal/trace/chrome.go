@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chromeEvent is one Chrome trace_event in the "X" (complete) phase:
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+// Timestamps and durations are microseconds. pid carries the session
+// id, tid the trace id, so statements group per session and spans of
+// one statement share a row in chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int64             `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the traces as Chrome trace_event JSON, loadable
+// in chrome://tracing or Perfetto. Event order follows each trace's
+// span order and the given trace order; args maps have few, fixed keys
+// and encoding/json sorts map keys, so rendering is deterministic for
+// a given input — golden-testable byte for byte.
+//
+// extra:output
+func WriteChrome(w io.Writer, traces ...*Trace) error {
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayUnit: "ns"}
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		base := tr.Start
+		for _, sp := range tr.Spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Cat:  sp.Kind.String(),
+				Ph:   "X",
+				TS:   float64(sp.Start.Sub(base).Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+				PID:  tr.Session,
+				TID:  tr.ID,
+			}
+			if sp.Kind == KindStatement {
+				// Identify the row: chrome://tracing shows the statement
+				// source in the event's args pane.
+				ev.Args = map[string]string{"src": strings.TrimSpace(tr.Src)}
+			}
+			for _, at := range sp.Attrs {
+				if ev.Args == nil {
+					ev.Args = make(map[string]string, len(sp.Attrs))
+				}
+				ev.Args[at.Key] = at.Val
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ChromeJSON is WriteChrome into a string.
+//
+// extra:output
+func ChromeJSON(traces ...*Trace) (string, error) {
+	var b strings.Builder
+	if err := WriteChrome(&b, traces...); err != nil {
+		return "", fmt.Errorf("chrome export: %w", err)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeExportGolden pins the Chrome trace_event rendering of the
+// canned Figure-5 span tree byte for byte: the canned times are fixed,
+// span order is slice order, and args keys are sorted by encoding/json,
+// so the export is fully deterministic.
+func TestChromeExportGolden(t *testing.T) {
+	tracer := NewTracer(1, 4)
+	tr := canned(t, tracer)
+	got, err := ChromeJSON(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_fig5.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("chrome export drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestChromeExportValid checks the export against the trace_event
+// format contract: top-level traceEvents array, "X" phase events with
+// microsecond ts/dur, names and categories present.
+func TestChromeExportValid(t *testing.T) {
+	tracer := NewTracer(1, 4)
+	tr := canned(t, tracer)
+	raw, err := ChromeJSON(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int64             `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(raw), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(f.TraceEvents) != len(tr.Spans) {
+		t.Fatalf("%d events for %d spans", len(f.TraceEvents), len(tr.Spans))
+	}
+	root := f.TraceEvents[0]
+	if root.Ph != "X" || root.Cat != "statement" || root.Name != "statement" {
+		t.Errorf("root event malformed: %+v", root)
+	}
+	if root.Dur != 1200 { // 1200µs statement
+		t.Errorf("root dur = %vµs, want 1200", root.Dur)
+	}
+	if root.Args["src"] == "" || root.Args["rows"] != "3" {
+		t.Errorf("root args missing: %v", root.Args)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != tr.Session || ev.TID != tr.ID {
+			t.Errorf("event %q pid/tid %d/%d", ev.Name, ev.PID, ev.TID)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q negative time ts=%v dur=%v", ev.Name, ev.TS, ev.Dur)
+		}
+	}
+	// Empty export still renders a valid file.
+	empty, err := ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(empty), &f); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if f.TraceEvents == nil || len(f.TraceEvents) != 0 {
+		t.Errorf("empty export traceEvents = %v", f.TraceEvents)
+	}
+}

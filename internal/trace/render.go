@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render draws the trace as an indented span tree, one span per line:
+//
+//	trace 7 [retrieve] session=1 rows=3 (dur=1.234ms)
+//	  statement (dur=1.234ms) session=1 user= kind=retrieve rows=3
+//	    parse (dur=80µs)
+//	    ...
+//
+// Durations are rendered as `dur=...` so tests can normalize them with
+// the same regex discipline as ExplainAnalyze goldens. Output order is
+// the spans' slice order (children follow parents), which is
+// deterministic for a given statement — no map iteration anywhere.
+//
+// extra:output
+func Render(tr *Trace) string {
+	if tr == nil {
+		return "no trace\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d [%s] session=%d rows=%d (dur=%v)\n",
+		tr.ID, tr.Kind, tr.Session, tr.Rows, fmtDur(tr.Dur))
+	fmt.Fprintf(&b, "  %s\n", strings.TrimSpace(tr.Src))
+
+	// Depth of each span follows from its parent's depth; parents always
+	// precede children in the slice.
+	depth := make([]int, len(tr.Spans))
+	for i, sp := range tr.Spans {
+		if sp.Parent >= 0 && sp.Parent < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+		fmt.Fprintf(&b, "  %s%s %s (dur=%v)", strings.Repeat("  ", depth[i]), marker(sp.Kind), sp.Name, fmtDur(sp.Dur))
+		for _, at := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", at.Key, at.Val)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// marker gives each span kind a one-glyph prefix so the tree reads at a
+// glance: ● statement, ◐ phase, ▸ operator, · storage.
+func marker(k Kind) string {
+	switch k {
+	case KindStatement:
+		return "●"
+	case KindPhase:
+		return "◐"
+	case KindOperator:
+		return "▸"
+	case KindStorage:
+		return "·"
+	}
+	return "?"
+}
+
+// fmtDur rounds to microseconds for readability, matching the
+// ExplainAnalyze convention.
+func fmtDur(d time.Duration) time.Duration {
+	if r := d.Round(time.Microsecond); r != 0 || d == 0 {
+		return r
+	}
+	return d
+}

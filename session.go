@@ -1,14 +1,19 @@
 package extra
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
+	"repro/internal/algebra"
 	"repro/internal/authz"
 	"repro/internal/excess/ast"
 	"repro/internal/excess/parse"
 	"repro/internal/excess/sema"
 	"repro/internal/exec"
+	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -117,24 +122,53 @@ func (s *Session) Exec(src string) (*Result, error) {
 	if db.closed {
 		return nil, errDBClosed
 	}
+	kind := "batch"
+	if len(stmts) == 1 {
+		kind = sema.KindOf(stmts[0])
+	}
+	var tr trace.StmtTrace
+	tr.Begin(db.tracer, start)
+	tr.RecordPhase(trace.PhaseParse, start, parseDur)
 	es := db.exec.NewState()
-	var tr stmtTrace
+	es.SetTrace(tr.Active())
 	var last *Result
-	for _, st := range stmts {
-		r, err := s.runStmt(es, st, nil, &tr)
-		if err != nil {
-			db.cErrors.Inc()
-			return nil, err
+	runErr := s.labeled(kind, func() error {
+		for _, st := range stmts {
+			r, err := s.runStmt(es, st, nil, &tr)
+			if err != nil {
+				return err
+			}
+			if r != nil {
+				last = r
+			}
 		}
-		if r != nil {
-			last = r
-		}
+		return nil
+	})
+	if runErr != nil {
+		db.cErrors.Inc()
+		db.abortTrace(s, src, kind, &tr, start, runErr)
+		return nil, runErr
 	}
 	if last != nil {
-		tr.rows = len(last.Rows)
+		tr.Rows = len(last.Rows)
 	}
-	db.finishTrace(s, src, parseDur, &tr, start)
+	db.finishTrace(s, src, kind, &tr, start)
 	return last, nil
+}
+
+// labeled runs fn, attaching runtime/pprof labels (session, stmt_kind)
+// when the ops plane enabled statement labeling — CPU profiles then
+// attribute samples to query shapes. Off (the default), it is a direct
+// call.
+func (s *Session) labeled(kind string, fn func() error) error {
+	if !s.db.labelStmts.Load() {
+		return fn()
+	}
+	var err error
+	pprof.Do(context.Background(),
+		pprof.Labels("session", strconv.FormatInt(s.id, 10), "stmt_kind", kind),
+		func(context.Context) { err = fn() })
+	return err
 }
 
 // Query is Exec for a single retrieve; it errors when the source is not
@@ -159,16 +193,26 @@ func (s *Session) Query(src string) (*Result, error) {
 	if db.closed {
 		return nil, errDBClosed
 	}
-	var tr stmtTrace
-	res, err := s.runStmt(db.exec.NewState(), r, nil, &tr)
-	if err != nil {
+	var tr trace.StmtTrace
+	tr.Begin(db.tracer, start)
+	tr.RecordPhase(trace.PhaseParse, start, parseDur)
+	es := db.exec.NewState()
+	es.SetTrace(tr.Active())
+	var res *Result
+	runErr := s.labeled("retrieve", func() error {
+		var err error
+		res, err = s.runStmt(es, r, nil, &tr)
+		return err
+	})
+	if runErr != nil {
 		db.cErrors.Inc()
-		return nil, err
+		db.abortTrace(s, src, "retrieve", &tr, start, runErr)
+		return nil, runErr
 	}
 	if res != nil {
-		tr.rows = len(res.Rows)
+		tr.Rows = len(res.Rows)
 	}
-	db.finishTrace(s, src, parseDur, &tr, start)
+	db.finishTrace(s, src, "retrieve", &tr, start)
 	return res, nil
 }
 
@@ -201,7 +245,7 @@ func (s *Session) MustQuery(src string) *Result {
 //
 // extra:requires db.mu.R
 // extra:dispatch db.mu sema.ReadOnly
-func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, tr *stmtTrace) (*Result, error) {
+func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
 	db := s.db
 	db.metrics.Counter("stmt." + sema.KindOf(st)).Inc()
 	if tr != nil {
@@ -209,8 +253,8 @@ func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, 
 		// lands in the execute phase. Retrieves are timed per phase in
 		// their case below.
 		if _, isRet := st.(*ast.Retrieve); !isRet {
-			t0 := time.Now()
-			defer func() { tr.execute += time.Since(t0) }()
+			pt := tr.StartPhase(trace.PhaseExecute)
+			defer tr.EndPhase(pt)
 		}
 	}
 	switch st := st.(type) {
@@ -280,29 +324,36 @@ func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, 
 		return nil, db.auth.Revoke(s.user, st.Priv, st.On, st.From)
 	case *ast.Retrieve:
 		ck := s.checker(params)
-		t0 := time.Now()
+		pt := tr.StartPhase(trace.PhaseCheck)
 		cq, err := ck.CheckRetrieve(st)
-		if tr != nil {
-			tr.check += time.Since(t0)
-		}
+		tr.EndPhase(pt)
 		if err != nil {
 			return nil, err
 		}
 		if err := s.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
 			return nil, err
 		}
-		t0 = time.Now()
+		pt = tr.StartPhase(trace.PhasePlan)
 		plan := es.Plan(cq.Query)
-		if tr != nil {
-			tr.plan += time.Since(t0)
+		tr.EndPhase(pt)
+		// Sampled statements run instrumented, exactly like EXPLAIN
+		// ANALYZE: the plan's runtime actuals become operator spans and
+		// the pool counter delta becomes storage attribution after the
+		// run. Unsampled statements take the untraced executor path.
+		var rt *algebra.PlanRuntime
+		var poolBase PoolStats
+		if tr.Sampled() {
+			rt = plan.EnableRuntime()
+			poolBase = db.pool.Stats()
 		}
-		t0 = time.Now()
+		pt = tr.StartPhase(trace.PhaseExecute)
 		res, err := withParams(es, params, func() (*Result, error) {
 			return es.RetrievePlan(cq, plan)
 		})
-		if tr != nil {
-			tr.execute += time.Since(t0)
+		if rt != nil {
+			s.addRetrieveSpans(tr, pt, plan, rt, poolBase)
 		}
+		tr.EndPhase(pt)
 		if err != nil {
 			return nil, err
 		}
