@@ -384,3 +384,29 @@ func BenchmarkPipelineCheckAndPlan(b *testing.B) {
 	q := `retrieve (E.name) from E in Employees, D in Departments where E.dept is D and D.floor = 2 and E.salary > 100`
 	runQuery(b, db, q)
 }
+
+// B13 — the closure compiler vs the interpreting walker on an
+// expression-heavy filter. The cross product evaluates the predicate
+// once per (E, D) pair, so expression evaluation dominates the per-row
+// scan work and the compiled/interpreted gap is the measurement.
+func exprFilterBench(b *testing.B, interpret bool) {
+	db := mustWorkload(b, workload.Params{Departments: 50, Employees: 2000, MaxSalary: 1000, Seed: 14}, 8192)
+	if interpret {
+		db.SetOptimizer(extra.OptimizerOptions{NoCompiledExprs: true})
+	}
+	runQuery(b, db, exprHeavyQuery)
+}
+
+func BenchmarkExprFilterCompiled(b *testing.B)    { exprFilterBench(b, false) }
+func BenchmarkExprFilterInterpreted(b *testing.B) { exprFilterBench(b, true) }
+
+// exprHeavyQuery is shared with extrabench's B13: a filter of ~60
+// integer operators per evaluation, with one constant subexpression the
+// compiler folds and the walker recomputes per row.
+const exprHeavyQuery = `retrieve (n = count(E.name)) from E in Employees, D in Departments where
+	(E.salary * D.floor + 7) % 97 + (E.salary * 3 + D.floor * 11) % 89 + (E.salary * 5 + 13) % 83
+	+ (E.salary * 7 + D.floor * 17) % 79 + (E.salary * 11 + 19) % 73 + (E.salary * 13 + 23) % 71
+	+ (E.salary * 17 + D.floor * 29) % 61 + (E.salary * 19 + 31) % 59 + (E.salary * 23 + 37) % 53
+	+ (E.salary * 29 + D.floor * 41) % 47 + (E.salary * 31 + 43) % 43 + (E.salary * 37 + 47) % 41
+	+ ((13 * 17 + 5) * 3 - 100) % 50 + (E.salary - 250) * (D.floor - 750) % 67
+	+ (E.salary - 125) * (E.salary - 375) % 37 + (E.salary - 625) * (E.salary - 875) % 31 < 40`

@@ -25,6 +25,14 @@
 //	                the most recent sampled statement's span tree
 //	\user [NAME]    show or switch the shell session's user
 //	\optimizer on|off
+//	\prepare NAME STMT
+//	                prepare a statement with $1..$n parameter slots
+//	\exec NAME [ARG ...]
+//	                execute a prepared statement (args: int, float,
+//	                "quoted string", true/false, or bare word)
+//	\prepared       list prepared statements
+//	\deallocate NAME
+//	                close a prepared statement
 //	\quit
 package main
 
@@ -34,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -174,6 +183,62 @@ func completeStatement(src string) bool {
 	return depth <= 0 && !inStr
 }
 
+// prepared holds the shell's named prepared statements (\prepare /
+// \exec / \deallocate). The shell is single-threaded, so a plain map.
+var prepared = map[string]*extra.Stmt{}
+
+// shellArgs tokenizes \exec arguments: double-quoted strings (spaces
+// allowed, \" escapes), integers, floats, true/false, or bare words
+// passed through as strings.
+func shellArgs(s string) ([]any, error) {
+	var args []any
+	for i := 0; i < len(s); {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '"' {
+			var b strings.Builder
+			j := i + 1
+			for ; j < len(s) && s[j] != '"'; j++ {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				b.WriteByte(s[j])
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("unterminated string in arguments")
+			}
+			args = append(args, b.String())
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		tok := s[i:j]
+		i = j
+		switch {
+		case tok == "true":
+			args = append(args, true)
+		case tok == "false":
+			args = append(args, false)
+		default:
+			if n, err := strconv.Atoi(tok); err == nil {
+				args = append(args, n)
+			} else if f, err := strconv.ParseFloat(tok, 64); err == nil {
+				args = append(args, f)
+			} else {
+				args = append(args, tok)
+			}
+		}
+	}
+	return args, nil
+}
+
 // meta handles backslash commands; it reports false on \quit.
 func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 	fields := strings.Fields(cmd)
@@ -181,7 +246,7 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`, `\h`:
-		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \trace on|off|last|every N \user [NAME] \optimizer on|off \quit`)
+		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \trace on|off|last|every N \user [NAME] \optimizer on|off \prepare NAME STMT \exec NAME [ARG ...] \prepared \deallocate NAME \quit`)
 	case `\types`:
 		for _, n := range db.Catalog().TupleTypeNames() {
 			fmt.Println(" ", n)
@@ -317,9 +382,80 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 		} else {
 			fmt.Printf("  now %s\n", fields[1])
 		}
+	case `\prepare`:
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\prepare`))
+		name, src, ok := strings.Cut(rest, " ")
+		if !ok || name == "" || strings.TrimSpace(src) == "" {
+			fmt.Println("usage: \\prepare NAME STMT")
+			break
+		}
+		st, err := sess.Prepare(strings.TrimSpace(src))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if old := prepared[name]; old != nil {
+			old.Close()
+		}
+		prepared[name] = st
+		fmt.Printf("  prepared %s (%d parameters)\n", name, st.NumParams())
+	case `\exec`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\exec NAME [ARG ...]")
+			break
+		}
+		st := prepared[fields[1]]
+		if st == nil {
+			fmt.Printf("no prepared statement %q; see \\prepared\n", fields[1])
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(cmd, `\exec`)), fields[1]))
+		args, err := shellArgs(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		res, err := st.Exec(args...)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else if res != nil {
+			fmt.Print(res)
+		} else {
+			fmt.Println("ok")
+		}
+	case `\prepared`:
+		if len(prepared) == 0 {
+			fmt.Println("  no prepared statements")
+			break
+		}
+		names := make([]string, 0, len(prepared))
+		for n := range prepared {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s (%d parameters): %s\n", n, prepared[n].NumParams(),
+				strings.Join(strings.Fields(prepared[n].Src()), " "))
+		}
+	case `\deallocate`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\deallocate NAME")
+			break
+		}
+		st := prepared[fields[1]]
+		if st == nil {
+			fmt.Printf("no prepared statement %q\n", fields[1])
+			break
+		}
+		st.Close()
+		delete(prepared, fields[1])
+		fmt.Printf("  deallocated %s\n", fields[1])
 	case `\optimizer`:
 		if len(fields) == 2 && fields[1] == "off" {
-			db.SetOptimizer(extra.OptimizerOptions{NoPushdown: true, NoIndexSelect: true, NoReorder: true})
+			db.SetOptimizer(extra.OptimizerOptions{
+				NoPushdown: true, NoIndexSelect: true, NoReorder: true,
+				NoHashJoin: true, NoDerefCache: true, NoCompiledExprs: true,
+			})
 			fmt.Println("  optimizer off (naive plans)")
 		} else {
 			db.SetOptimizer(extra.OptimizerOptions{})

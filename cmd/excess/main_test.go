@@ -39,6 +39,9 @@ func TestMetaCommands(t *testing.T) {
 		`\analyze json retrieve (P.name) from P in People`,
 		`\analyze`, `\slow`, `\user`,
 		`\explain`, `\type`, `\bogus`,
+		`\prepare byname retrieve (P.name) from P in People where P.name = $1`,
+		`\prepared`, `\exec byname "Ann"`, `\exec byname`, `\exec nosuch`,
+		`\deallocate byname`, `\deallocate byname`, `\prepare`, `\exec`, `\deallocate`,
 	} {
 		if !meta(db, sess, cmd) {
 			t.Errorf("meta(%q) requested exit", cmd)
@@ -46,6 +49,25 @@ func TestMetaCommands(t *testing.T) {
 	}
 	if meta(db, sess, `\quit`) || meta(db, sess, `\q`) {
 		t.Error("\\quit did not request exit")
+	}
+}
+
+func TestShellArgs(t *testing.T) {
+	got, err := shellArgs(`42 3.5 "two words" true bare "esc \" q"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{42, 3.5, "two words", true, "bare", `esc " q`}
+	if len(got) != len(want) {
+		t.Fatalf("shellArgs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arg %d = %#v, want %#v", i, got[i], want[i])
+		}
+	}
+	if _, err := shellArgs(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
 	}
 }
 

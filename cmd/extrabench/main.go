@@ -1,6 +1,6 @@
 // Command extrabench regenerates every experiment in EXPERIMENTS.md: the
 // functional reproductions of the paper's figures (F1–F7) and the
-// performance characterization of its design choices (B1–B12, B15).
+// performance characterization of its design choices (B1–B13, B15).
 //
 // Usage:
 //
@@ -69,7 +69,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B12, B15) or all")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1..F7, B1..B13, B15) or all")
 	flag.Parse()
 
 	exps := []experiment{
@@ -92,6 +92,7 @@ func main() {
 		{"B10", "buffer pool working-set cliff", b10},
 		{"B11", "join methods: hash vs nested, deref cache on vs off", b11},
 		{"B12", "parallel read throughput: sessions sharing the read lock", b12},
+		{"B13", "compile-once: plan cache, prepared statements, compiled expressions", b13},
 		{"B15", "tracing overhead: off vs sampled 1-in-100 vs always-on", b15},
 	}
 	want := map[string]bool{}
@@ -774,6 +775,140 @@ func b12() error {
 		return err
 	}
 	fmt.Println("  wrote BENCH_concurrency.json")
+	return nil
+}
+
+// compileRecord is one line of BENCH_compile.json: the machine-readable
+// counterpart of the B13 table. CheckNs/PlanNs are the total semantic
+// analysis and planning time accumulated across the measurement's
+// statements — the compile-once contract is that both stay ~0 for
+// repeated statements (plan cache) and prepared executions, and grow
+// linearly only when every statement is textually distinct.
+type compileRecord struct {
+	Name    string  `json:"name"`
+	NsOp    int64   `json:"ns_per_op"`
+	Rows    int     `json:"rows"`
+	CheckNs uint64  `json:"check_ns_total"`
+	PlanNs  uint64  `json:"plan_ns_total"`
+	Speedup float64 `json:"speedup_vs_interpreted,omitempty"`
+}
+
+// b13 measures the compile-once plane: (1) repeated identical retrieves
+// amortize parse/check/plan to a cache hit, while textually unique
+// statements pay the full front end every time; (2) a prepared
+// statement pins its plan and skips even the cache probe; (3) the
+// closure compiler against the interpreting walker on an
+// expression-heavy filter (the compiler also folds constant
+// subexpressions the walker re-evaluates per row). Writes
+// BENCH_compile.json for CI trend tooling.
+func b13() error {
+	db, err := openW(workload.Params{Departments: 20, Employees: 5000, MaxSalary: 1000, Seed: 14}, 16384)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	row("benchmark", "median", "rows", "check total", "plan total")
+	var recs []compileRecord
+	rec := func(name string, d time.Duration, rows int, checkNs, planNs uint64, speedup float64) {
+		row(name, d, rows, time.Duration(checkNs), time.Duration(planNs))
+		recs = append(recs, compileRecord{Name: name, NsOp: d.Nanoseconds(), Rows: rows,
+			CheckNs: checkNs, PlanNs: planNs, Speedup: speedup})
+	}
+	phases := func() (check, plan uint64) {
+		s := db.MetricsSnapshot()
+		return s.Histograms["phase.check"].SumNS, s.Histograms["phase.plan"].SumNS
+	}
+
+	// Repeated statement: after the warm-up miss, every run is a plan
+	// cache hit — the front end contributes zero time.
+	q := `retrieve (E.name) from E in Employees where E.dept.floor = 2`
+	if _, err := db.Query(q); err != nil {
+		return err
+	}
+	c0, p0 := phases()
+	d, rows, err := timeQuery(db, q)
+	if err != nil {
+		return err
+	}
+	c1, p1 := phases()
+	rec("RepeatCachedPlan", d, rows, c1-c0, p1-p0, 0)
+
+	// Textually unique statements: every run misses and pays check+plan.
+	var durs []time.Duration
+	c0, p0 = phases()
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		res, err := db.Query(fmt.Sprintf(
+			`retrieve (E.name) from E in Employees where E.dept.floor = 2 and E.salary < %d`, 100000+i))
+		if err != nil {
+			return err
+		}
+		durs = append(durs, time.Since(start))
+		rows = len(res.Rows)
+	}
+	c1, p1 = phases()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	rec("UniqueColdPlan", durs[len(durs)/2], rows, c1-c0, p1-p0, 0)
+
+	// Prepared statement: the pinned plan skips even the cache probe.
+	st, err := db.Prepare(`retrieve (E.name) from E in Employees where E.dept.floor = $1`)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if _, err := st.Exec(2); err != nil { // first execution checks and plans
+		return err
+	}
+	durs = durs[:0]
+	c0, p0 = phases()
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		res, err := st.Exec(2)
+		if err != nil {
+			return err
+		}
+		durs = append(durs, time.Since(start))
+		rows = len(res.Rows)
+	}
+	c1, p1 = phases()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	rec("PreparedExec", durs[len(durs)/2], rows, c1-c0, p1-p0, 0)
+
+	// Expression-heavy filter: closure-compiled vs interpreted walker.
+	// The cross product evaluates the filter once per (E, D) pair while
+	// the per-row decode work stays per extent row, so the expression
+	// engine dominates the measurement (the same shape as the
+	// BenchmarkExprFilter pair in bench_test.go).
+	xq := `retrieve (n = count(E.name)) from E in Employees, D in Departments where
+		(E.salary * D.floor + 7) % 97 + (E.salary * 3 + D.floor * 11) % 89 + (E.salary * 5 + 13) % 83
+		+ (E.salary * 7 + D.floor * 17) % 79 + (E.salary * 11 + 19) % 73 + (E.salary * 13 + 23) % 71
+		+ (E.salary * 17 + D.floor * 29) % 61 + (E.salary * 19 + 31) % 59 + (E.salary * 23 + 37) % 53
+		+ (E.salary * 29 + D.floor * 41) % 47 + (E.salary * 31 + 43) % 43 + (E.salary * 37 + 47) % 41
+		+ ((13 * 17 + 5) * 3 - 100) % 50 + (E.salary - 250) * (D.floor - 750) % 67
+		+ (E.salary - 125) * (E.salary - 375) % 37 + (E.salary - 625) * (E.salary - 875) % 31 < 40`
+	dc, rows, err := timeQuery(db, xq)
+	if err != nil {
+		return err
+	}
+	db.SetOptimizer(extra.OptimizerOptions{NoCompiledExprs: true})
+	di, _, err := timeQuery(db, xq)
+	if err != nil {
+		return err
+	}
+	db.SetOptimizer(extra.OptimizerOptions{})
+	speedup := float64(di) / float64(dc)
+	rec("ExprFilterCompiled", dc, rows, 0, 0, speedup)
+	rec("ExprFilterInterpreted", di, rows, 0, 0, 0)
+	fmt.Printf("  compiled speedup over interpreted: %.2fx\n", speedup)
+
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_compile.json", append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_compile.json")
 	return nil
 }
 

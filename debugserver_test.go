@@ -48,16 +48,26 @@ func get(t *testing.T, url string) (int, string) {
 func TestDebugServerMetrics(t *testing.T) {
 	db, base := openOps(t)
 	db.MustQuery(`retrieve (E.name) from E in Employees where E.dept.floor = 2`)
+	db.MustQuery(`retrieve (E.name) from E in Employees where E.dept.floor = 2`)
 	code, body := get(t, base+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
 	for _, want := range []string{
 		"# TYPE extra_stmt_retrieve_total counter",
-		"extra_stmt_retrieve_total 1",
+		"extra_stmt_retrieve_total 2",
 		"# TYPE extra_phase_execute_ns histogram",
 		`extra_phase_execute_ns_bucket{le="+Inf"} `,
 		"extra_pool_hits_total ",
+		// The compile-once plane: the repeated statement hits the plan
+		// cache, and its expressions were compiled into closures.
+		"extra_plan_cache_hits_total 1",
+		"extra_plan_cache_misses_total 1",
+		"extra_plan_cache_evictions_total 0",
+		"# TYPE extra_plan_cache_size gauge",
+		"extra_plan_cache_size 1",
+		"extra_expr_compile_count_total ",
+		"# TYPE extra_phase_compile_ns histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

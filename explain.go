@@ -43,6 +43,21 @@ func (db *DB) Explain(src string) (string, error) {
 	if db.closed {
 		return "", errDBClosed
 	}
+	// When the default session already executed this statement, show the
+	// plan the engine would actually serve — the cache hit, rendered with
+	// its "(cached)" marker. The lookup does not populate the cache:
+	// explaining a statement is not executing it.
+	if cacheable(r, nil) {
+		key := planKey{
+			text:   ast.Print(r),
+			catVer: db.cat.Version(),
+			optsFP: db.exec.Options().Fingerprint(),
+			ranges: rangesFingerprint(db.def.sem),
+		}
+		if e := db.plans.peek(key); e != nil {
+			return e.plan.Explain(), nil
+		}
+	}
 	cq, err := db.def.checker(nil).CheckRetrieve(r)
 	if err != nil {
 		return "", err
@@ -127,6 +142,7 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 		return nil, sum, err
 	}
 	es := db.exec.NewState()
+	defer es.Release()
 	t0 = time.Now()
 	plan := es.Plan(cq.Query)
 	sum.Plan = time.Since(t0)

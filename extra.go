@@ -110,8 +110,14 @@ type DB struct {
 	// Pre-resolved hot-path metric handles (one atomic add each, no
 	// registry lookup on the statement path). Histograms and counters
 	// are internally atomic: safe to observe from concurrent readers.
-	hParse, hCheck, hPlan, hExecute, hStmt *metrics.Histogram
-	cRows, cErrors                         *metrics.Counter
+	hParse, hCheck, hPlan, hCompile, hExecute, hStmt *metrics.Histogram
+	cRows, cErrors                                   *metrics.Counter
+
+	// plans is the engine-wide compiled-statement cache (see
+	// plancache.go): repeated unprepared retrieves amortize
+	// parse/check/plan to a map hit. Keyed on catalog version, so DDL
+	// invalidates it wholesale.
+	plans *planCache
 
 	// Slow-query log: a ring buffer of the last slowCap statements that
 	// exceeded slowThreshold. Guarded by slowMu — its own lock, not the
@@ -203,10 +209,13 @@ func Open(opts ...Option) (*DB, error) {
 		hParse:   mreg.Histogram("phase.parse"),
 		hCheck:   mreg.Histogram("phase.check"),
 		hPlan:    mreg.Histogram("phase.plan"),
+		hCompile: mreg.Histogram("phase.compile"),
 		hExecute: mreg.Histogram("phase.execute"),
 		hStmt:    mreg.Histogram("stmt.latency"),
 		cRows:    mreg.Counter("rows.returned"),
 		cErrors:  mreg.Counter("stmt.errors"),
+
+		plans: newPlanCache(defaultPlanCacheCap, mreg),
 
 		slowThreshold: cfg.slowThreshold,
 		slowCap:       cfg.slowCap,

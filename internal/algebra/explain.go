@@ -15,6 +15,9 @@ import (
 // extra:output
 func (p *Plan) Explain() string {
 	var b strings.Builder
+	if p.Cached {
+		b.WriteString("(cached)\n")
+	}
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
 		indent := strings.Repeat("  ", i)

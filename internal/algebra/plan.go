@@ -66,6 +66,20 @@ type Plan struct {
 	// Runtime, when non-nil, makes the executor record per-operator
 	// actuals into it (EXPLAIN ANALYZE). Set via EnableRuntime.
 	Runtime *PlanRuntime
+	// Cached marks a plan served from the engine plan cache; EXPLAIN
+	// renders it with a "(cached)" marker.
+	Cached bool
+}
+
+// Clone returns a shallow copy of the plan with its own Nodes slice and
+// no Runtime. Cached plans are shared between concurrent statements, so
+// a statement that needs instrumentation (EnableRuntime mutates the
+// plan) must clone first.
+func (p *Plan) Clone() *Plan {
+	n := *p
+	n.Nodes = append([]Node(nil), p.Nodes...)
+	n.Runtime = nil
+	return &n
 }
 
 // Stats estimates extent cardinalities for join ordering. The object
@@ -92,11 +106,28 @@ const hashProbeCost = 8
 // no index selection, nested-loop joins, uncached dereferencing) used as
 // the baseline in the optimizer benchmarks and differential tests.
 type Options struct {
-	NoPushdown    bool
-	NoIndexSelect bool
-	NoReorder     bool
-	NoHashJoin    bool // keep equi-joins as nested rescans
-	NoDerefCache  bool // re-fetch every reference dereference
+	NoPushdown      bool
+	NoIndexSelect   bool
+	NoReorder       bool
+	NoHashJoin      bool // keep equi-joins as nested rescans
+	NoDerefCache    bool // re-fetch every reference dereference
+	NoCompiledExprs bool // interpret expressions instead of compiling closures
+}
+
+// Fingerprint packs the option flags into a bitmask. The plan cache
+// keys on it, so toggling any optimizer knob can never serve a plan
+// built under different options. A new flag must be added here.
+func (o Options) Fingerprint() uint64 {
+	var f uint64
+	for i, b := range []bool{
+		o.NoPushdown, o.NoIndexSelect, o.NoReorder,
+		o.NoHashJoin, o.NoDerefCache, o.NoCompiledExprs,
+	} {
+		if b {
+			f |= 1 << i
+		}
+	}
+	return f
 }
 
 // Build lowers a checked query to a plan under the given options.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adt"
 	"repro/internal/excess/ast"
@@ -132,7 +133,16 @@ type Catalog struct {
 	procs   map[string]*Procedure
 	indexes map[string]*Index
 	byExt   map[string][]*Index // extent -> indexes
+
+	// version counts schema mutations. Plans checked against one catalog
+	// version are stale at any other; the plan cache keys on it so DDL
+	// invalidates every cached statement in one atomic bump.
+	version atomic.Uint64
 }
+
+// Version returns the schema-mutation counter. Any successful define /
+// create / drop / index operation bumps it.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New returns a catalog bound to an ADT registry.
 func New(reg *adt.Registry) *Catalog {
@@ -177,6 +187,7 @@ func (c *Catalog) DefineTuple(t *types.TupleType) error {
 		return fmt.Errorf("name %s already in use", t.Name)
 	}
 	c.tuples[t.Name] = t
+	c.version.Add(1)
 	return nil
 }
 
@@ -210,6 +221,7 @@ func (c *Catalog) DefineEnum(e *types.Enum) error {
 		return fmt.Errorf("name %s already in use", e.Name)
 	}
 	c.enums[e.Name] = e
+	c.version.Add(1)
 	return nil
 }
 
@@ -244,6 +256,7 @@ func (c *Catalog) CreateVar(name string, comp types.Component) (*Variable, error
 	}
 	v := &Variable{Name: name, Comp: comp}
 	c.vars[name] = v
+	c.version.Add(1)
 	return v, nil
 }
 
@@ -259,6 +272,7 @@ func (c *Catalog) DropVar(name string) error {
 		delete(c.indexes, ix.Name)
 	}
 	delete(c.byExt, name)
+	c.version.Add(1)
 	return nil
 }
 
@@ -308,6 +322,7 @@ func (c *Catalog) DefineFunction(f *Function) (*Function, error) {
 				return nil, fmt.Errorf("definition of %s does not match its declaration", f.Name)
 			}
 			g.Expr, g.Query, g.Late = f.Expr, f.Query, f.Late
+			c.version.Add(1)
 			return g, nil
 		}
 		if fr == nil {
@@ -316,6 +331,7 @@ func (c *Catalog) DefineFunction(f *Function) (*Function, error) {
 		return nil, fmt.Errorf("function %s already defined for type %s", f.Name, fr.Name)
 	}
 	c.funcs[f.Name] = append(c.funcs[f.Name], f)
+	c.version.Add(1)
 	return f, nil
 }
 
@@ -328,6 +344,7 @@ func (c *Catalog) RemoveFunction(f *Function) {
 	for i, g := range list {
 		if g == f {
 			c.funcs[f.Name] = append(list[:i], list[i+1:]...)
+			c.version.Add(1)
 			return
 		}
 	}
@@ -374,6 +391,7 @@ func (c *Catalog) DefineProcedure(p *Procedure) error {
 		return fmt.Errorf("procedure %s already defined", p.Name)
 	}
 	c.procs[p.Name] = p
+	c.version.Add(1)
 	return nil
 }
 
@@ -395,6 +413,7 @@ func (c *Catalog) AddIndex(ix *Index) error {
 	}
 	c.indexes[ix.Name] = ix
 	c.byExt[ix.Extent] = append(c.byExt[ix.Extent], ix)
+	c.version.Add(1)
 	return nil
 }
 

@@ -144,5 +144,6 @@ func (c *Catalog) DefineTupleFromAST(d *ast.DefineType) (*types.TupleType, error
 	if err := fwd.Complete(supers, attrs); err != nil {
 		return fail(ast.Errorf(d, "%s", err))
 	}
+	c.version.Add(1)
 	return fwd, nil
 }

@@ -386,6 +386,16 @@ type NullLit struct {
 
 func (*NullLit) expr() {}
 
+// Placeholder is a positional parameter of a prepared statement: "$1",
+// "$2", ... (1-based). Outside a prepared statement it is a check-time
+// error.
+type Placeholder struct {
+	Position
+	N int
+}
+
+func (*Placeholder) expr() {}
+
 // PathStep is one step of a path: an attribute access, optionally
 // followed by an index (1-based) into an array.
 type PathStep struct {

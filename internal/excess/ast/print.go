@@ -261,6 +261,8 @@ func printExpr(b *strings.Builder, e Expr) {
 		}
 	case *NullLit:
 		b.WriteString("null")
+	case *Placeholder:
+		b.WriteString("$" + strconv.Itoa(x.N))
 	case *Path:
 		printPath(b, x)
 	case *Unary:

@@ -289,6 +289,19 @@ func (p *Parser) primary() (ast.Expr, error) {
 		return s, nil
 	case token.IDENT:
 		return p.identExpr()
+	case token.OP:
+		// "$N" is a positional prepared-statement parameter. The scanner
+		// lexes it as OP("$") followed by the integer (digits are not
+		// operator characters, so the maximal-munch run stops at "$").
+		if p.cur().Text == "$" && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == token.INT {
+			p.next() // $
+			t := p.next()
+			n, err := strconv.Atoi(t.Text)
+			if err != nil || n < 1 {
+				return nil, p.errf("bad parameter number $%s", t.Text)
+			}
+			return &ast.Placeholder{Position: pos, N: n}, nil
+		}
 	}
 	return nil, p.errf("expected an expression, found %s", p.cur())
 }

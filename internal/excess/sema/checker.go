@@ -36,6 +36,11 @@ type Checker struct {
 	order []*Var
 	inAgg bool
 	depth int // function-inlining depth guard
+
+	// phTypes records the inferred type of each $N placeholder (index
+	// N-1) seen while binding. Prepare reads it through Placeholders to
+	// build the statement's parameter slots.
+	phTypes []types.Type
 }
 
 // NewChecker returns a checker over the catalog and session. params may
@@ -140,6 +145,39 @@ func (c *Checker) query(where Expr) Query {
 	return Query{Vars: c.order, Where: where}
 }
 
+// Placeholders returns the inferred type of every $N parameter the
+// checked statement mentions, indexed by N-1. A nil entry means the
+// placeholder's type could not be inferred from context (it is accepted
+// and checked dynamically at execution).
+func (c *Checker) Placeholders() []types.Type { return c.phTypes }
+
+// notePlaceholder grows the placeholder table to cover $n.
+func (c *Checker) notePlaceholder(n int) {
+	for len(c.phTypes) < n {
+		c.phTypes = append(c.phTypes, nil)
+	}
+}
+
+// inferPlaceholder back-fills an untyped placeholder reference with the
+// type of the expression it is compared or combined with, so "$1" in
+// "E.salary > $1" both type-checks the comparison and gives Prepare a
+// typed slot to validate arguments against.
+func (c *Checker) inferPlaceholder(e Expr, t types.Type) {
+	p, ok := e.(*ParamRef)
+	if !ok || p.T != nil || t == nil {
+		return
+	}
+	var n int
+	if _, err := fmt.Sscanf(p.Name, "$%d", &n); err != nil || n < 1 {
+		return
+	}
+	p.T = t
+	c.notePlaceholder(n)
+	if c.phTypes[n-1] == nil {
+		c.phTypes[n-1] = t
+	}
+}
+
 // bindFrom binds the from clause variables in order.
 func (c *Checker) bindFrom(from []ast.FromBinding) error {
 	for i := range from {
@@ -176,6 +214,7 @@ func (c *Checker) bindRangeSource(name string, universal bool, src *ast.Path) (*
 				v.Kind = VarDBPath
 				v.Extent = src.Root
 			}
+			v.Slot = len(c.order)
 			c.vars[name] = v
 			c.order = append(c.order, v)
 			return v, nil
@@ -201,6 +240,7 @@ func (c *Checker) bindRangeSource(name string, universal bool, src *ast.Path) (*
 	default:
 		return nil, ast.Errorf(src, "cannot range over %s", src)
 	}
+	v.Slot = len(c.order)
 	c.vars[name] = v
 	c.order = append(c.order, v)
 	return v, nil
@@ -272,7 +312,7 @@ func (c *Checker) implicitVar(extent string, elem types.Component) *Var {
 	if v, ok := c.vars[name]; ok {
 		return v
 	}
-	v := &Var{Name: name, Kind: VarExtent, Extent: extent, Implicit: true, Elem: c.bindElem(elem)}
+	v := &Var{Name: name, Kind: VarExtent, Extent: extent, Implicit: true, Elem: c.bindElem(elem), Slot: len(c.order)}
 	c.vars[name] = v
 	c.order = append(c.order, v)
 	return v

@@ -31,6 +31,19 @@ func (c *Checker) bindExpr(e ast.Expr) (Expr, error) {
 		return &Const{Val: value.Bool(x.V), T: types.Boolean}, nil
 	case *ast.NullLit:
 		return &Const{Val: value.Null{}, T: nil}, nil
+	case *ast.Placeholder:
+		// A prepared-statement parameter binds like a function parameter
+		// named "$N"; the executor resolves it through the same frame
+		// stack. Its type starts unknown and is back-filled from the
+		// surrounding comparison or arithmetic context (inferPlaceholder).
+		c.notePlaceholder(x.N)
+		name := fmt.Sprintf("$%d", x.N)
+		if c.params != nil {
+			if t, ok := c.params[name]; ok {
+				return &ParamRef{Name: name, T: t}, nil
+			}
+		}
+		return &ParamRef{Name: name}, nil
 	case *ast.Path:
 		return c.bindPath(x)
 	case *ast.Unary:
@@ -312,6 +325,11 @@ func (c *Checker) bindBinary(x *ast.Binary) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Untyped placeholders adopt the type of the other operand, so
+	// "E.salary > $1" checks as an int comparison and Prepare learns the
+	// slot type.
+	c.inferPlaceholder(l, r.Type())
+	c.inferPlaceholder(r, l.Type())
 	lt, rt := l.Type(), r.Type()
 	mk := func(cl OpClass, t types.Type) *Binary {
 		return &Binary{Op: x.Op, Class: cl, L: l, R: r, T: t}
@@ -621,6 +639,11 @@ func (c *Checker) bindTupleLit(x *ast.TupleLit) (Expr, error) {
 
 // checkAssignable validates storing an expression into a component slot.
 func (c *Checker) checkAssignable(e Expr, comp types.Component, what string) error {
+	if comp.Mode != types.RefTo && comp.Mode != types.OwnRef {
+		// "$N" stored into an own slot takes the slot's declared type,
+		// giving Prepare a typed parameter for "append ... (age = $2)".
+		c.inferPlaceholder(e, comp.Type)
+	}
 	t := e.Type()
 	if t == nil {
 		return nil // null is assignable anywhere

@@ -43,6 +43,12 @@ type Var struct {
 	Universal bool // declared "range of V is all S"
 	Implicit  bool // introduced by an extent-rooted path
 
+	// Slot is the variable's position in the checker's binding order
+	// (Query.Vars). The executor's binding frames are slot-indexed
+	// slices, so compiled expressions read variables by integer offset
+	// instead of hashing the *Var pointer.
+	Slot int
+
 	Extent string // VarExtent: the extent name; VarDBPath: the variable name
 	Parent *Var   // VarNested: parent variable
 	Base   Expr   // VarExprPath: the base expression (e.g. a ParamRef)

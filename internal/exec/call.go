@@ -19,6 +19,17 @@ func (ex *State) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, erro
 		if err != nil {
 			return nil, err
 		}
+		args[i] = v
+	}
+	return ex.dispatchCall(c, args)
+}
+
+// dispatchCall shapes evaluated arguments for the call's parameter slots
+// and invokes the function, re-dispatching late-bound calls on the
+// runtime type of the first argument. Shared by the interpreter and
+// compiled closures.
+func (ex *State) dispatchCall(c *sema.FuncCall, args []value.Value) (value.Value, error) {
+	for i, v := range args {
 		// Schema-typed parameters receive objects: a reference argument
 		// is dereferenced (dangling references pass null).
 		if r, isRef := v.(value.Ref); isRef {
@@ -28,13 +39,12 @@ func (ex *State) evalFuncCall(ctx *evalCtx, c *sema.FuncCall) (value.Value, erro
 					return nil, err
 				}
 				if live {
-					v = value.Object{OID: r.OID, Tuple: tv}
+					args[i] = value.Object{OID: r.OID, Tuple: tv}
 				} else {
-					v = value.Null{}
+					args[i] = value.Null{}
 				}
 			}
 		}
-		args[i] = v
 	}
 	fn := c.Fn
 	if fn.Late && len(args) > 0 {
@@ -78,7 +88,9 @@ func (ex *State) callFunction(fn *catalog.Function, args []value.Value) (value.V
 		return nil, err
 	}
 	if body.expr != nil {
-		v, err := ex.eval(&evalCtx{b: newBinding()}, body.expr)
+		bb := newBinding()
+		v, err := ex.eval(&evalCtx{b: bb}, body.expr)
+		bb.release()
 		if err != nil {
 			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
 		}

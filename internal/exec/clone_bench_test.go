@@ -16,16 +16,17 @@ func BenchmarkBindingClone(b *testing.B) {
 		b.Run(fmt.Sprintf("vars=%d", nvars), func(b *testing.B) {
 			src := newBinding()
 			for i := 0; i < nvars; i++ {
-				v := &sema.Var{Name: fmt.Sprintf("v%d", i)}
-				src.vals[v] = value.NewInt(int64(i))
-				src.prov[v] = prov{}
+				v := &sema.Var{Name: fmt.Sprintf("v%d", i), Slot: i}
+				src.bind(v, value.NewInt(int64(i)), prov{})
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if c := src.clone(); len(c.vals) != nvars {
+				c := src.clone()
+				if len(c.vals) != nvars {
 					b.Fatal("bad clone")
 				}
+				c.release()
 			}
 		})
 	}

@@ -20,7 +20,7 @@ func (ex *State) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
 	case *sema.Const:
 		return x.Val, nil
 	case *sema.VarRef:
-		v, ok := ctx.b.vals[x.Var]
+		v, ok := ctx.b.get(x.Var)
 		if !ok {
 			return nil, fmt.Errorf("variable %s not bound", x.Var.Name)
 		}
@@ -140,7 +140,7 @@ func (ex *State) applyStep(ctx *evalCtx, cur value.Value, multi bool, st sema.St
 			return out, true, nil
 		}
 	}
-	nv, _, err := ex.stepOnce(cur, collOwner{}, st, ctx)
+	nv, _, err := ex.stepOnce(cur, collOwner{}, st, ctx, false)
 	return nv, multi, err
 }
 
@@ -149,26 +149,7 @@ func (ex *State) evalUnary(ctx *evalCtx, u *sema.Unary) (value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	if u.Fn != nil {
-		return u.Fn.Impl([]value.Value{deobject(v)})
-	}
-	switch u.Op {
-	case "not":
-		b, ok := value.AsBool(v)
-		if !ok {
-			return value.Null{}, nil
-		}
-		return value.Bool(!b), nil
-	case "-":
-		switch n := v.(type) {
-		case value.Int:
-			return value.Int{K: n.K, V: -n.V}, nil
-		case value.Float:
-			return value.Float{K: n.K, V: -n.V}, nil
-		}
-		return value.Null{}, nil
-	}
-	return nil, fmt.Errorf("unhandled unary %s", u.Op)
+	return applyUnary(u, v)
 }
 
 // deobject converts runtime Objects to plain tuples for value contexts
@@ -187,34 +168,14 @@ func (ex *State) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		lb, lok := value.AsBool(l)
-		if b.Op == "and" {
-			if lok && !lb {
-				return value.Bool(false), nil
-			}
-		} else if lok && lb {
-			return value.Bool(true), nil
+		if v, done := logicShort(b.Op, l); done {
+			return v, nil
 		}
 		r, err := ex.eval(ctx, b.R)
 		if err != nil {
 			return nil, err
 		}
-		rb, rok := value.AsBool(r)
-		if !lok || !rok {
-			// Unknown combines as in three-valued logic where possible.
-			if b.Op == "and" {
-				if (lok && !lb) || (rok && !rb) {
-					return value.Bool(false), nil
-				}
-			} else if (lok && lb) || (rok && rb) {
-				return value.Bool(true), nil
-			}
-			return value.Null{}, nil
-		}
-		if b.Op == "and" {
-			return value.Bool(lb && rb), nil
-		}
-		return value.Bool(lb || rb), nil
+		return logicCombine(b.Op, l, r), nil
 	}
 	l, err := ex.eval(ctx, b.L)
 	if err != nil {
@@ -224,6 +185,51 @@ func (ex *State) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ex.applyBinary(b, l, r)
+}
+
+// logicShort reports whether the left operand alone decides an and/or
+// (false short-circuits "and", true short-circuits "or").
+func logicShort(op string, l value.Value) (value.Value, bool) {
+	lb, lok := value.AsBool(l)
+	if op == "and" {
+		if lok && !lb {
+			return value.Bool(false), true
+		}
+	} else if lok && lb {
+		return value.Bool(true), true
+	}
+	return nil, false
+}
+
+// logicCombine combines both evaluated operands of an and/or under
+// three-valued logic (shared by the interpreter and compiled closures).
+func logicCombine(op string, l, r value.Value) value.Value {
+	lb, lok := value.AsBool(l)
+	rb, rok := value.AsBool(r)
+	if !lok || !rok {
+		// Unknown combines as in three-valued logic where possible.
+		if op == "and" {
+			if (lok && !lb) || (rok && !rb) {
+				return value.Bool(false)
+			}
+		} else if (lok && lb) || (rok && rb) {
+			return value.Bool(true)
+		}
+		return value.Null{}
+	}
+	if op == "and" {
+		return value.Bool(lb && rb)
+	}
+	return value.Bool(lb || rb)
+}
+
+// applyBinary applies a non-logic binary operator to already-evaluated
+// operands — the shared kernel of the interpreter (evalBinary) and the
+// compiled closures (compile.go). Only OpIdent touches the state (live
+// identity needs the store), so every other class is safe to fold at
+// compile time with a nil receiver.
+func (ex *State) applyBinary(b *sema.Binary, l, r value.Value) (value.Value, error) {
 	switch b.Class {
 	case sema.OpIdent:
 		lo, lok := ex.liveOID(l)
@@ -244,89 +250,11 @@ func (ex *State) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
 		}
 		return value.Bool(same), nil
 	case sema.OpCompare:
-		if value.IsNull(l) || value.IsNull(r) {
-			return value.Null{}, nil
-		}
-		switch b.Op {
-		case "=":
-			return value.Bool(value.Equal(deobject(l), deobject(r))), nil
-		case "!=":
-			return value.Bool(!value.Equal(deobject(l), deobject(r))), nil
-		}
-		c, err := value.Compare(deobject(l), deobject(r))
-		if err != nil {
-			return nil, err
-		}
-		switch b.Op {
-		case "<":
-			return value.Bool(c < 0), nil
-		case "<=":
-			return value.Bool(c <= 0), nil
-		case ">":
-			return value.Bool(c > 0), nil
-		case ">=":
-			return value.Bool(c >= 0), nil
-		}
+		return compareOp(b.Op, l, r)
 	case sema.OpMember:
-		var elem value.Value
-		var coll value.Value
-		if b.Op == "in" {
-			elem, coll = l, r
-		} else {
-			elem, coll = r, l
-		}
-		if value.IsNull(elem) || value.IsNull(coll) {
-			return value.Null{}, nil
-		}
-		elems, ok := elemsOf(coll)
-		if !ok {
-			return nil, fmt.Errorf("%s requires a collection", b.Op)
-		}
-		for _, e := range elems {
-			if value.Equal(e, elem) {
-				return value.Bool(true), nil
-			}
-			// Membership of an object in a collection of refs (and vice
-			// versa) compares identities.
-			if eo, ok1 := value.OIDOf(e); ok1 {
-				if vo, ok2 := value.OIDOf(elem); ok2 && eo == vo {
-					return value.Bool(true), nil
-				}
-			}
-		}
-		return value.Bool(false), nil
+		return memberOp(b.Op, l, r)
 	case sema.OpSet:
-		ls, lok := elemsOf(l)
-		rs, rok := elemsOf(r)
-		if !lok || !rok {
-			if value.IsNull(l) || value.IsNull(r) {
-				return value.Null{}, nil
-			}
-			return nil, fmt.Errorf("%s requires sets", b.Op)
-		}
-		out := &value.Set{}
-		switch b.Op {
-		case "union":
-			out.Elems = append(out.Elems, ls...)
-			for _, e := range rs {
-				if !containsValue(out.Elems, e) {
-					out.Elems = append(out.Elems, e)
-				}
-			}
-		case "intersect":
-			for _, e := range ls {
-				if containsValue(rs, e) && !containsValue(out.Elems, e) {
-					out.Elems = append(out.Elems, e)
-				}
-			}
-		case "diff":
-			for _, e := range ls {
-				if !containsValue(rs, e) && !containsValue(out.Elems, e) {
-					out.Elems = append(out.Elems, e)
-				}
-			}
-		}
-		return out, nil
+		return setOp(b.Op, l, r)
 	case sema.OpArith:
 		if value.IsNull(l) || value.IsNull(r) {
 			return value.Null{}, nil
@@ -339,6 +267,100 @@ func (ex *State) evalBinary(ctx *evalCtx, b *sema.Binary) (value.Value, error) {
 		return b.Fn.Impl([]value.Value{deobject(l), deobject(r)})
 	}
 	return nil, fmt.Errorf("unhandled binary %s", b.Op)
+}
+
+// compareOp evaluates = != < <= > >= with null propagation.
+func compareOp(op string, l, r value.Value) (value.Value, error) {
+	if value.IsNull(l) || value.IsNull(r) {
+		return value.Null{}, nil
+	}
+	switch op {
+	case "=":
+		return value.Bool(value.Equal(deobject(l), deobject(r))), nil
+	case "!=":
+		return value.Bool(!value.Equal(deobject(l), deobject(r))), nil
+	}
+	c, err := value.Compare(deobject(l), deobject(r))
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "<":
+		return value.Bool(c < 0), nil
+	case "<=":
+		return value.Bool(c <= 0), nil
+	case ">":
+		return value.Bool(c > 0), nil
+	case ">=":
+		return value.Bool(c >= 0), nil
+	}
+	return nil, fmt.Errorf("unhandled comparison %s", op)
+}
+
+// memberOp evaluates in/contains.
+func memberOp(op string, l, r value.Value) (value.Value, error) {
+	var elem value.Value
+	var coll value.Value
+	if op == "in" {
+		elem, coll = l, r
+	} else {
+		elem, coll = r, l
+	}
+	if value.IsNull(elem) || value.IsNull(coll) {
+		return value.Null{}, nil
+	}
+	elems, ok := elemsOf(coll)
+	if !ok {
+		return nil, fmt.Errorf("%s requires a collection", op)
+	}
+	for _, e := range elems {
+		if value.Equal(e, elem) {
+			return value.Bool(true), nil
+		}
+		// Membership of an object in a collection of refs (and vice
+		// versa) compares identities.
+		if eo, ok1 := value.OIDOf(e); ok1 {
+			if vo, ok2 := value.OIDOf(elem); ok2 && eo == vo {
+				return value.Bool(true), nil
+			}
+		}
+	}
+	return value.Bool(false), nil
+}
+
+// setOp evaluates union/intersect/diff.
+func setOp(op string, l, r value.Value) (value.Value, error) {
+	ls, lok := elemsOf(l)
+	rs, rok := elemsOf(r)
+	if !lok || !rok {
+		if value.IsNull(l) || value.IsNull(r) {
+			return value.Null{}, nil
+		}
+		return nil, fmt.Errorf("%s requires sets", op)
+	}
+	out := &value.Set{}
+	switch op {
+	case "union":
+		out.Elems = append(out.Elems, ls...)
+		for _, e := range rs {
+			if !containsValue(out.Elems, e) {
+				out.Elems = append(out.Elems, e)
+			}
+		}
+	case "intersect":
+		for _, e := range ls {
+			if containsValue(rs, e) && !containsValue(out.Elems, e) {
+				out.Elems = append(out.Elems, e)
+			}
+		}
+	case "diff":
+		for _, e := range ls {
+			if !containsValue(rs, e) && !containsValue(out.Elems, e) {
+				out.Elems = append(out.Elems, e)
+			}
+		}
+	}
+	return out, nil
 }
 
 type oidOf = oidpkg.OID

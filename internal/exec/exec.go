@@ -51,12 +51,26 @@ type Executor struct {
 	fnMu    sync.Mutex // extra:lock fnMu
 	fnCache map[*catalog.Function]*boundBody
 
+	// exprCache memoizes compiled expression closures by tree identity
+	// (compile.go). Bounded at maxCompiledExprs with epoch flushes, so
+	// statements whose trees are minted fresh each execution cannot grow
+	// it without limit; compiled closures are immutable and shared
+	// freely between statements.
+	exprMu    sync.Mutex // extra:lock exprMu
+	exprCache map[sema.Expr]compiledExpr
+
 	statsMisses atomic.Int64 // cardinality-estimate fallbacks (planning)
+
+	// statePool recycles per-statement States (NewState / State.Release)
+	// so repeated statements reuse the deref/extent caches — which are
+	// version-guarded, see ensureCache — instead of rebuilding them.
+	statePool sync.Pool
 
 	// Optional metrics handles (nil when no registry is attached).
 	cStatsMiss, cDerefHit, cDerefMiss *metrics.Counter
 	cHashBuilds, cHashBuildRows       *metrics.Counter
 	cHashProbes, cHashHits            *metrics.Counter
+	cExprCompile                      *metrics.Counter
 }
 
 // State is the mutable per-statement execution state: parameter frames,
@@ -106,10 +120,27 @@ func New(store *object.Store, cat *catalog.Catalog) *Executor {
 	}
 }
 
-// NewState returns a fresh per-statement execution state over the
-// engine core.
+// NewState returns a per-statement execution state over the engine
+// core, reusing a pooled one when available.
 func (ex *Executor) NewState() *State {
+	if v := ex.statePool.Get(); v != nil {
+		return v.(*State)
+	}
 	return &State{Executor: ex}
+}
+
+// Release resets the statement-scoped fields and returns the state to
+// the engine pool. The deref and extent caches are deliberately kept
+// across reuse: they are valid for exactly one store version and the
+// next lookup flushes them if the store moved, so a recycled state
+// starts warm for repeated read statements. The caller must not use the
+// state after releasing it.
+func (ex *State) Release() {
+	ex.params = ex.params[:0]
+	ex.depth = 0
+	ex.tr = nil
+	ex.derefHits, ex.derefMisses = 0, 0
+	ex.Executor.statePool.Put(ex)
 }
 
 // SetOptions configures the optimizer (used by the benchmarks to compare
@@ -134,6 +165,7 @@ func (ex *Executor) SetMetrics(reg *metrics.Registry) {
 	ex.cHashBuildRows = reg.Counter("join.hash.buildrows")
 	ex.cHashProbes = reg.Counter("join.hash.probes")
 	ex.cHashHits = reg.Counter("join.hash.hits")
+	ex.cExprCompile = reg.Counter("expr.compile.count")
 }
 
 // EstimateLen implements algebra.Stats. Extents without statistics fall
@@ -168,33 +200,92 @@ type prov struct {
 	elemIdx   int         // nested: position within the collection
 }
 
-// binding maps range variables to their current values and provenance.
+// binding holds the current value and provenance of each range variable,
+// indexed by the variable's checker-assigned slot (sema.Var.Slot).
+// Slot-indexed slices replace the earlier map[*sema.Var] representation:
+// a variable read is one bounds check and an index instead of a pointer
+// hash, a clone is three memcpys, and compiled expressions (compile.go)
+// bake the slot index into their closures.
 type binding struct {
-	vals map[*sema.Var]value.Value
-	prov map[*sema.Var]prov
+	vals  []value.Value
+	provs []prov
+	used  []bool
 }
 
+// bindingPool recycles bindings and their slot slices. The executor
+// allocates a binding per retained row in grouped retrieves and set
+// statements and one per hash-join build, so reuse keeps those paths
+// off the allocator.
+var bindingPool = sync.Pool{New: func() any { return new(binding) }}
+
 func newBinding() *binding {
-	return &binding{
-		vals: make(map[*sema.Var]value.Value),
-		prov: make(map[*sema.Var]prov),
+	return bindingPool.Get().(*binding)
+}
+
+// release drops the binding's element references (so a pooled binding
+// never pins store objects) and returns it to the pool, keeping the
+// slice capacity. The caller must not touch the binding afterwards;
+// clones are unaffected (they own their slices, and provenance step
+// slices are never mutated in place).
+func (b *binding) release() {
+	for i := range b.vals {
+		b.vals[i] = nil
+		b.provs[i] = prov{}
+		b.used[i] = false
 	}
+	b.vals = b.vals[:0]
+	b.provs = b.provs[:0]
+	b.used = b.used[:0]
+	bindingPool.Put(b)
+}
+
+// grow extends the slot slices to cover slot.
+func (b *binding) grow(slot int) {
+	for len(b.vals) <= slot {
+		b.vals = append(b.vals, nil)
+		b.provs = append(b.provs, prov{})
+		b.used = append(b.used, false)
+	}
+}
+
+// bind sets a variable's value and provenance.
+func (b *binding) bind(v *sema.Var, val value.Value, pr prov) {
+	b.grow(v.Slot)
+	b.vals[v.Slot] = val
+	b.provs[v.Slot] = pr
+	b.used[v.Slot] = true
+}
+
+// unbind clears a variable's slot.
+func (b *binding) unbind(v *sema.Var) {
+	if v.Slot < len(b.vals) {
+		b.vals[v.Slot] = nil
+		b.provs[v.Slot] = prov{}
+		b.used[v.Slot] = false
+	}
+}
+
+// get returns a variable's current value.
+func (b *binding) get(v *sema.Var) (value.Value, bool) {
+	if v.Slot < len(b.used) && b.used[v.Slot] {
+		return b.vals[v.Slot], true
+	}
+	return nil, false
+}
+
+// getProv returns a variable's provenance (the zero prov when unbound).
+func (b *binding) getProv(v *sema.Var) prov {
+	if v.Slot < len(b.provs) {
+		return b.provs[v.Slot]
+	}
+	return prov{}
 }
 
 func (b *binding) clone() *binding {
-	// Size the maps exactly: clone runs once per group (grouped
-	// retrieves) and per retained row, and growing a map from the
-	// default size costs several rehashes for typical variable counts.
-	n := &binding{
-		vals: make(map[*sema.Var]value.Value, len(b.vals)),
-		prov: make(map[*sema.Var]prov, len(b.prov)),
-	}
-	for k, v := range b.vals {
-		n.vals[k] = v
-	}
-	for k, v := range b.prov {
-		n.prov[k] = v
-	}
+	n := bindingPool.Get().(*binding)
+	n.vals = append(n.vals[:0], b.vals...)
+	n.provs = append(n.provs[:0], b.provs...)
+	n.used = append(n.used[:0], b.used...)
 	return n
 }
 
@@ -212,6 +303,7 @@ type evalCtx struct {
 // effect; uninstrumented plans take the untraced path.
 func (ex *State) Run(p *algebra.Plan, yield func(*binding) error) error {
 	b := newBinding()
+	defer b.release()
 	rt := p.Runtime
 	rs := &runState{}
 	var dh, dm int64
@@ -264,7 +356,7 @@ func (ex *State) Run(p *algebra.Plan, yield func(*binding) error) error {
 func (ex *State) passAll(b *binding, conjs []sema.Expr) (bool, error) {
 	ctx := &evalCtx{b: b}
 	for _, cj := range conjs {
-		v, err := ex.eval(ctx, cj)
+		v, err := ex.evalC(ctx, cj)
 		if err != nil {
 			return false, err
 		}
@@ -286,14 +378,12 @@ func (ex *State) runNode(p *algebra.Plan, i int, b *binding, rs *runState, yield
 	}
 	n := &p.Nodes[i]
 	emit := func(v value.Value, pr prov) error {
-		b.vals[n.Var] = v
-		b.prov[n.Var] = pr
+		b.bind(n.Var, v, pr)
 		ok, err := ex.passAll(b, n.Filter)
 		if err == nil && ok {
 			err = ex.runNode(p, i+1, b, rs, yield)
 		}
-		delete(b.vals, n.Var)
-		delete(b.prov, n.Var)
+		b.unbind(n.Var)
 		return err
 	}
 	return ex.enumerate(b, n, rs, emit)
@@ -318,8 +408,7 @@ func (ex *State) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runState,
 	}
 	emit := func(v value.Value, pr prov) error {
 		rt.RowsIn++
-		b.vals[n.Var] = v
-		b.prov[n.Var] = pr
+		b.bind(n.Var, v, pr)
 		ok, err := ex.passAll(b, n.Filter)
 		if err == nil && ok {
 			rt.RowsOut++
@@ -329,8 +418,7 @@ func (ex *State) runNodeTraced(p *algebra.Plan, i int, b *binding, rs *runState,
 			child += time.Since(t0)
 			base = pool.Stats() // children's traffic is theirs
 		}
-		delete(b.vals, n.Var)
-		delete(b.prov, n.Var)
+		b.unbind(n.Var)
 		return err
 	}
 	err := ex.enumerate(b, n, rs, emit)
@@ -417,7 +505,7 @@ type collOwner struct {
 func (ex *State) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, error) {
 	switch v.Kind {
 	case sema.VarNested:
-		pv, ok := b.vals[v.Parent]
+		pv, ok := b.get(v.Parent)
 		if !ok {
 			return nil, collOwner{}, fmt.Errorf("parent of %s not bound", v.Name)
 		}
@@ -425,7 +513,7 @@ func (ex *State) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, err
 		if o, isObj := pv.(value.Object); isObj {
 			own.oid = o.OID
 		} else {
-			pp := b.prov[v.Parent]
+			pp := b.getProv(v.Parent)
 			own.oid, own.dbvar = pp.parentOID, pp.parentVar
 		}
 		return pv, own, nil
@@ -454,7 +542,7 @@ func (ex *State) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, err
 func (ex *State) walkCollection(cur value.Value, owner collOwner, steps []sema.Step, emit func(value.Value, prov) error) error {
 	for si, st := range steps {
 		var err error
-		cur, owner, err = ex.stepOnce(cur, owner, st, nil)
+		cur, owner, err = ex.stepOnce(cur, owner, st, nil, true)
 		if err != nil {
 			return err
 		}
@@ -513,8 +601,11 @@ func (ex *State) walkCollection(cur value.Value, owner collOwner, steps []sema.S
 
 // stepOnce applies one path step to a value, dereferencing a reference
 // first if needed and tracking the collection owner. ctx is needed only
-// when the step has an index expression.
-func (ex *State) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *evalCtx) (value.Value, collOwner, error) {
+// when the step has an index expression. track guards the owner-steps
+// provenance bookkeeping: only update paths (walkCollection) consume it,
+// and the per-step slice append is the dominant allocation of filter
+// evaluation when left on.
+func (ex *State) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *evalCtx, track bool) (value.Value, collOwner, error) {
 	if value.IsNull(cur) {
 		return value.Null{}, owner, nil
 	}
@@ -534,7 +625,9 @@ func (ex *State) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *e
 		if !ok {
 			return nil, owner, fmt.Errorf("attribute %s of non-tuple value %s", st.Attr, cur)
 		}
-		owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Attr: st.Attr})
+		if track {
+			owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Attr: st.Attr})
+		}
 		cur = tv.Get(st.Attr)
 	}
 	if st.Index != nil {
@@ -553,7 +646,9 @@ func (ex *State) stepOnce(cur value.Value, owner collOwner, st sema.Step, ctx *e
 		if i < 1 || int(i) > len(arr.Elems) {
 			return value.Null{}, owner, nil
 		}
-		owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Index: &sema.Const{Val: value.NewInt(i), T: nil}})
+		if track {
+			owner.steps = append(append([]sema.Step(nil), owner.steps...), sema.Step{Index: &sema.Const{Val: value.NewInt(i), T: nil}})
+		}
 		cur = arr.Elems[i-1]
 	}
 	return cur, owner, nil
@@ -602,11 +697,9 @@ func (ex *State) forAllHolds(b *binding, uvars []*sema.Var, conjs []sema.Expr) (
 		}
 		n := &algebra.Node{Var: uvars[i]}
 		return ex.enumerate(b, n, nil, func(v value.Value, pr prov) error {
-			b.vals[uvars[i]] = v
-			b.prov[uvars[i]] = pr
+			b.bind(uvars[i], v, pr)
 			err := rec(i + 1)
-			delete(b.vals, uvars[i])
-			delete(b.prov, uvars[i])
+			b.unbind(uvars[i])
 			return err
 		})
 	}

@@ -113,16 +113,15 @@ func (ex *State) buildJoinTable(n *algebra.Node) (*joinTable, error) {
 	}
 	src := &algebra.Node{Var: n.Var, Access: n.Access}
 	b := newBinding()
+	defer b.release()
 	ctx := &evalCtx{b: b}
 	err := ex.enumerate(b, src, nil, func(v value.Value, pr prov) error {
-		b.vals[n.Var] = v
-		b.prov[n.Var] = pr
-		defer delete(b.vals, n.Var)
-		defer delete(b.prov, n.Var)
+		b.bind(n.Var, v, pr)
+		defer b.unbind(n.Var)
 		if ok, err := ex.passAll(b, local); err != nil || !ok {
 			return err
 		}
-		kv, err := ex.eval(ctx, n.Hash.Build)
+		kv, err := ex.evalC(ctx, n.Hash.Build)
 		if err != nil {
 			return err
 		}
@@ -172,7 +171,7 @@ func (ex *State) hashProbe(b *binding, n *algebra.Node, rs *runState, emit func(
 	if ex.cHashProbes != nil {
 		ex.cHashProbes.Inc()
 	}
-	kv, err := ex.eval(&evalCtx{b: b}, n.Hash.Probe)
+	kv, err := ex.evalC(&evalCtx{b: b}, n.Hash.Probe)
 	if err != nil {
 		return err
 	}

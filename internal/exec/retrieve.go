@@ -97,7 +97,7 @@ func (ex *State) RetrievePlan(cq *sema.CheckedRetrieve, plan *algebra.Plan) (*Re
 			ctx := &evalCtx{b: b}
 			row := make(Row, len(cq.Targets))
 			for i, t := range cq.Targets {
-				v, err := ex.eval(ctx, t.Expr)
+				v, err := ex.evalC(ctx, t.Expr)
 				if err != nil {
 					return err
 				}
@@ -169,7 +169,7 @@ func (ex *State) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan, r
 		for _, a := range aggs {
 			st := g.aggs[a]
 			if a.Over != nil {
-				ov, err := ex.eval(ctx, a.Over)
+				ov, err := ex.evalC(ctx, a.Over)
 				if err != nil {
 					return err
 				}
@@ -182,7 +182,7 @@ func (ex *State) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan, r
 				}
 				st.over[ok] = true
 			}
-			av, err := ex.eval(ctx, a.Arg)
+			av, err := ex.evalC(ctx, a.Arg)
 			if err != nil {
 				return err
 			}
@@ -224,6 +224,9 @@ func (ex *State) retrieveGrouped(cq *sema.CheckedRetrieve, plan *algebra.Plan, r
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	for _, key := range order {
+		groups[key].rep.release()
+	}
 	return nil
 }
 
@@ -234,7 +237,7 @@ func (ex *State) groupKey(ctx *evalCtx, groups []sema.Expr) (string, error) {
 	}
 	var b strings.Builder
 	for _, g := range groups {
-		v, err := ex.eval(ctx, g)
+		v, err := ex.evalC(ctx, g)
 		if err != nil {
 			return "", err
 		}

@@ -26,11 +26,11 @@ func (ex *State) appendStmt(ca *sema.CheckedAppend) (int, error) {
 		var elem value.Value
 		var err error
 		if ca.Ctor != nil {
-			if elem, err = ex.eval(ctx, ca.Ctor); err != nil {
+			if elem, err = ex.evalC(ctx, ca.Ctor); err != nil {
 				return err
 			}
 		} else {
-			if elem, err = ex.eval(ctx, ca.Value); err != nil {
+			if elem, err = ex.evalC(ctx, ca.Value); err != nil {
 				return err
 			}
 		}
@@ -96,7 +96,7 @@ func (ex *State) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Val
 	if vr, isVar := e.(*sema.VarRef); isVar {
 		// An own element without identity: address it positionally within
 		// its container so the nested mutation lands inside the element.
-		pr := b.prov[vr.Var]
+		pr := b.getProv(vr.Var)
 		steps := append(append([]sema.Step(nil), pr.steps...),
 			sema.Step{Index: &sema.Const{Val: value.NewInt(int64(pr.elemIdx + 1))}})
 		return v, collOwner{oid: pr.parentOID, dbvar: pr.parentVar, steps: steps}, nil
@@ -259,7 +259,7 @@ func (ex *State) deleteStmt(cd *sema.CheckedDelete) (int, error) {
 	var nested []nestedDel
 	plan := ex.Plan(cd.Query)
 	err := ex.Run(plan, func(b *binding) error {
-		pr := b.prov[cd.Var]
+		pr := b.getProv(cd.Var)
 		switch {
 		case pr.extent != "" && !pr.oid.IsNil() && ex.store.IsObjectExtent(pr.extent):
 			objs = append(objs, pr.oid)
@@ -357,9 +357,9 @@ func (ex *State) replaceStmt(cr *sema.CheckedReplace) (int, error) {
 	plan := ex.Plan(cr.Query)
 	err := ex.Run(plan, func(b *binding) error {
 		ctx := &evalCtx{b: b}
-		j := job{pr: b.prov[cr.Var]}
+		j := job{pr: b.getProv(cr.Var)}
 		for _, as := range cr.Assigns {
-			v, err := ex.eval(ctx, as.Expr)
+			v, err := ex.evalC(ctx, as.Expr)
 			if err != nil {
 				return err
 			}
@@ -490,7 +490,7 @@ func (ex *State) executeStmt(ce *sema.CheckedExecute, runBody func(params map[st
 		ctx := &evalCtx{b: b}
 		f := make(frame, len(ce.Args))
 		for i, a := range ce.Args {
-			v, err := ex.eval(ctx, a)
+			v, err := ex.evalC(ctx, a)
 			if err != nil {
 				return err
 			}

@@ -91,6 +91,77 @@ func badHoldsThenWrite(d *DB) {
 	d.mutate() // want `requires db.mu.W, but badHoldsThenWrite holds db.mu.R`
 }
 
+// planCache mirrors the engine's second annotated lock (the plan
+// cache's RWMutex): shared-locked probes, exclusive-locked inserts, and
+// a distinct lock name so holding the statement lock must not satisfy a
+// plan-cache requirement.
+type planCache struct {
+	mu sync.RWMutex // extra:lock plancache.mu
+	m  map[string]int
+}
+
+// probe reads the cache map.
+//
+// extra:requires plancache.mu.R
+func (pc *planCache) probe(k string) int { return pc.m[k] }
+
+// insert writes the cache map.
+//
+// extra:requires plancache.mu.W
+func (pc *planCache) insert(k string, v int) { pc.m[k] = v }
+
+// get is the hit path: shared lock around the probe.
+//
+// extra:acquires plancache.mu.R
+func (pc *planCache) get(k string) int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return pc.probe(k)
+}
+
+// put is the fill path: exclusive lock around the insert.
+//
+// extra:acquires plancache.mu.W
+func (pc *planCache) put(k string, v int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.insert(k, v)
+}
+
+func goodCacheRoundTrip(pc *planCache) {
+	pc.put("k", 1)
+	_ = pc.get("k")
+}
+
+func badCacheNoLock(pc *planCache) {
+	pc.insert("k", 1) // want `requires plancache.mu.W, but badCacheNoLock holds no lock`
+}
+
+func badCacheSharedForWrite(pc *planCache) {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	pc.insert("k", 1) // want `requires plancache.mu.W, but badCacheSharedForWrite holds plancache.mu.R`
+}
+
+func badCacheReentrantFill(pc *planCache) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.put("k", 1) // want `self-deadlock`
+}
+
+// Holding the statement lock says nothing about the plan-cache lock:
+// the two annotated locks are tracked independently.
+func badWrongLockHeld(d *DB, pc *planCache) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = pc.probe("k") // want `requires plancache.mu.R, but badWrongLockHeld holds no lock`
+}
+
+var _ = []func(*planCache){
+	goodCacheRoundTrip, badCacheNoLock, badCacheSharedForWrite, badCacheReentrantFill,
+}
+var _ = badWrongLockHeld
+
 // Statement kinds mirroring the dispatcher: the case-arm type names
 // line up with lint.StmtClass, so the dispatch cross-check applies.
 type (

@@ -32,7 +32,8 @@ type Kind uint8
 const (
 	// KindStatement is the root span: one whole Exec/Query call.
 	KindStatement Kind = iota
-	// KindPhase is one statement phase: parse, check, plan, execute.
+	// KindPhase is one statement phase: parse, check, plan, compile,
+	// execute.
 	KindPhase
 	// KindOperator is one plan operator (scan, index probe, hash build,
 	// unnest) or update action.
@@ -84,12 +85,13 @@ const (
 	PhaseParse Phase = iota
 	PhaseCheck
 	PhasePlan
+	PhaseCompile
 	PhaseExecute
 	numPhases
 )
 
 // phaseNames must stay in sync with the Phase constants.
-var phaseNames = [numPhases]string{"parse", "check", "plan", "execute"}
+var phaseNames = [numPhases]string{"parse", "check", "plan", "compile", "execute"}
 
 // Name returns the phase's span name.
 func (p Phase) Name() string { return phaseNames[p] }

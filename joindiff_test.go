@@ -28,15 +28,19 @@ var fig6Queries = []string{
 }
 
 // joinOptionGrid is every combination of the join-related optimizer
-// switches; each must produce the same rows as the fully naive plan.
+// switches plus the expression-compiler switch; each must produce the
+// same rows as the fully naive (interpreted) plan.
 func joinOptionGrid() []extra.OptimizerOptions {
 	var grid []extra.OptimizerOptions
 	for _, noHash := range []bool{false, true} {
 		for _, noCache := range []bool{false, true} {
 			for _, noReorder := range []bool{false, true} {
-				grid = append(grid, extra.OptimizerOptions{
-					NoHashJoin: noHash, NoDerefCache: noCache, NoReorder: noReorder,
-				})
+				for _, noCompile := range []bool{false, true} {
+					grid = append(grid, extra.OptimizerOptions{
+						NoHashJoin: noHash, NoDerefCache: noCache,
+						NoReorder: noReorder, NoCompiledExprs: noCompile,
+					})
+				}
 			}
 		}
 	}
@@ -45,11 +49,12 @@ func joinOptionGrid() []extra.OptimizerOptions {
 
 var naiveOpts = extra.OptimizerOptions{
 	NoPushdown: true, NoIndexSelect: true, NoReorder: true,
-	NoHashJoin: true, NoDerefCache: true,
+	NoHashJoin: true, NoDerefCache: true, NoCompiledExprs: true,
 }
 
 func optLabel(o extra.OptimizerOptions) string {
-	return fmt.Sprintf("hash=%v cache=%v reorder=%v", !o.NoHashJoin, !o.NoDerefCache, !o.NoReorder)
+	return fmt.Sprintf("hash=%v cache=%v reorder=%v compile=%v",
+		!o.NoHashJoin, !o.NoDerefCache, !o.NoReorder, !o.NoCompiledExprs)
 }
 
 // TestJoinMethodEquivalence runs the Figure 5/6 queries and a batch of

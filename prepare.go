@@ -1,0 +1,287 @@
+package extra
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/excess/ast"
+	"repro/internal/excess/parse"
+	"repro/internal/excess/sema"
+	"repro/internal/exec"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Stmt is a prepared statement: one EXCESS statement parsed, checked and
+// (for retrieves) planned once, with $1..$n parameter slots typed from
+// their use sites, then executed any number of times with only argument
+// binding and execution on the hot path.
+//
+// A retrieve's checked tree and plan are pinned in the Stmt and
+// revalidated against the catalog version and the session's range
+// declarations on every Exec: DDL or a redeclared range transparently
+// re-prepares instead of serving a stale plan. Non-retrieve statements
+// amortize parsing and parameter typing; their checked forms capture
+// catalog state that updates themselves invalidate, so they re-check per
+// execution.
+//
+// A Stmt is safe for concurrent use for read-only statements, exactly
+// like the Session it was prepared on.
+type Stmt struct {
+	sess *Session
+	src  string
+	st   ast.Statement
+	// ptypes holds the inferred type of each $N slot (index N-1); nil
+	// entries are dynamically typed (converted from the Go native's own
+	// shape at bind time).
+	ptypes []types.Type
+
+	// The pinned compilation of a cacheable retrieve, revalidated against
+	// catVer/ranges on each Exec. Guarded by mu; the cq/plan themselves
+	// are immutable once published.
+	mu     sync.Mutex // extra:lock stmt.mu
+	cq     *sema.CheckedRetrieve
+	plan   *algebra.Plan
+	catVer uint64
+	optsFP uint64
+	ranges string
+	closed bool
+}
+
+// Prepare parses and type-checks one statement on the DB's default
+// session, returning the reusable compiled form. Parameter slots are
+// written $1..$n.
+func (db *DB) Prepare(src string) (*Stmt, error) { return db.def.Prepare(src) }
+
+// Prepare parses and type-checks one statement for this session.
+//
+// extra:acquires db.mu.R
+func (s *Session) Prepare(src string) (*Stmt, error) {
+	db := s.db
+	st, err := parse.One(src, db.reg)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errDBClosed
+	}
+	ck := s.checker(nil)
+	if err := probeCheck(ck, st); err != nil {
+		return nil, err
+	}
+	return &Stmt{
+		sess:   s,
+		src:    src,
+		st:     st,
+		ptypes: ck.Placeholders(),
+	}, nil
+}
+
+// probeCheck runs the statement through its checker so placeholder slots
+// get counted and typed. DDL statements have no expression positions and
+// pass through unchecked (they re-validate at execution, as unprepared
+// execution does).
+func probeCheck(ck *sema.Checker, st ast.Statement) error {
+	var err error
+	switch st := st.(type) {
+	case *ast.Retrieve:
+		_, err = ck.CheckRetrieve(st)
+	case *ast.Append:
+		_, err = ck.CheckAppend(st)
+	case *ast.Delete:
+		_, err = ck.CheckDelete(st)
+	case *ast.Replace:
+		_, err = ck.CheckReplace(st)
+	case *ast.SetStmt:
+		_, err = ck.CheckSet(st)
+	case *ast.Execute:
+		_, err = ck.CheckExecute(st)
+	}
+	return err
+}
+
+// NumParams returns the number of $N parameter slots.
+func (st *Stmt) NumParams() int { return len(st.ptypes) }
+
+// Src returns the statement's source text.
+func (st *Stmt) Src() string { return st.src }
+
+// Close releases the pinned plan. Exec after Close errors.
+//
+// extra:acquires stmt.mu.W
+func (st *Stmt) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.closed = true
+	st.cq, st.plan = nil, nil
+	return nil
+}
+
+// Exec runs the prepared statement with the given arguments bound to
+// $1..$n. Arguments are Go natives (int, int64, float64, string, bool),
+// Obj handles or prebuilt values, converted through the slot's inferred
+// type. It returns the retrieve's result set (nil for other statement
+// kinds).
+func (st *Stmt) Exec(args ...any) (*Result, error) {
+	s := st.sess
+	db := s.db
+	start := time.Now()
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("prepared statement is closed")
+	}
+	if len(args) != len(st.ptypes) {
+		return nil, fmt.Errorf("statement has %d parameters, got %d arguments",
+			len(st.ptypes), len(args))
+	}
+	scope, err := st.bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	unlock := db.lockStatements(sema.ReadOnly(st.st))
+	defer unlock()
+	if db.closed {
+		return nil, errDBClosed
+	}
+	kind := sema.KindOf(st.st)
+	var tr trace.StmtTrace
+	tr.Begin(db.tracer, start)
+	es := db.exec.NewState()
+	defer es.Release()
+	es.SetTrace(tr.Active())
+	var res *Result
+	runErr := s.labeled(kind, func() error {
+		var err error
+		if r, ok := st.st.(*ast.Retrieve); ok && r.Into == "" {
+			res, err = st.execRetrieve(es, r, scope, &tr)
+		} else {
+			res, err = s.runStmt(es, st.st, scope, &tr)
+		}
+		return err
+	})
+	if runErr != nil {
+		db.cErrors.Inc()
+		db.abortTrace(s, st.src, kind, &tr, start, runErr)
+		return nil, runErr
+	}
+	if res != nil {
+		tr.Rows = len(res.Rows)
+	}
+	db.finishTrace(s, st.src, kind, &tr, start)
+	return res, nil
+}
+
+// MustExec runs the prepared statement and panics on error.
+func (st *Stmt) MustExec(args ...any) *Result {
+	r, err := st.Exec(args...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// execRetrieve is the prepared retrieve hot path: revalidate the pinned
+// plan, authorize (every execution — privileges change without DDL),
+// warm the expression closures and run. On the steady state nothing is
+// parsed, checked or planned.
+//
+// extra:requires db.mu.R
+func (st *Stmt) execRetrieve(es *exec.State, r *ast.Retrieve, scope *paramScope, tr *trace.StmtTrace) (*Result, error) {
+	s := st.sess
+	db := s.db
+	db.metrics.Counter("stmt." + sema.KindOf(r)).Inc()
+	cq, plan, err := st.compiledFor(es, r, scope, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
+		return nil, err
+	}
+	pt := tr.StartPhase(trace.PhaseCompile)
+	es.CompilePlan(cq, plan)
+	tr.EndPhase(pt)
+	var rt *algebra.PlanRuntime
+	var poolBase PoolStats
+	if tr.Sampled() {
+		plan = plan.Clone()
+		rt = plan.EnableRuntime()
+		poolBase = db.pool.Stats()
+	}
+	pt = tr.StartPhase(trace.PhaseExecute)
+	res, err := withParams(es, scope, func() (*Result, error) {
+		return es.RetrievePlan(cq, plan)
+	})
+	if rt != nil {
+		s.addRetrieveSpans(tr, pt, plan, rt, poolBase)
+	}
+	tr.EndPhase(pt)
+	return res, err
+}
+
+// compiledFor returns the pinned checked tree and plan, re-preparing
+// when the catalog version or the session's range declarations moved
+// since they were built. Two executions may re-prepare concurrently; the
+// later publication simply replaces the earlier, both being correct for
+// the current version.
+//
+// extra:acquires stmt.mu.W
+func (st *Stmt) compiledFor(es *exec.State, r *ast.Retrieve, scope *paramScope, tr *trace.StmtTrace) (*sema.CheckedRetrieve, *algebra.Plan, error) {
+	db := st.sess.db
+	catVer := db.cat.Version()
+	ranges := rangesFingerprint(st.sess.sem)
+	optsFP := db.exec.Options().Fingerprint()
+	st.mu.Lock()
+	if st.cq != nil && st.catVer == catVer && st.ranges == ranges && st.optsFP == optsFP {
+		cq, plan := st.cq, st.plan
+		st.mu.Unlock()
+		return cq, plan, nil
+	}
+	st.mu.Unlock()
+	ck := sema.NewChecker(db.cat, st.sess.sem, scope.typesOrNil())
+	pt := tr.StartPhase(trace.PhaseCheck)
+	cq, err := ck.CheckRetrieve(r)
+	tr.EndPhase(pt)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt = tr.StartPhase(trace.PhasePlan)
+	plan := es.Plan(cq.Query)
+	tr.EndPhase(pt)
+	st.mu.Lock()
+	st.cq, st.plan = cq, plan
+	st.catVer, st.ranges, st.optsFP = catVer, ranges, optsFP
+	st.mu.Unlock()
+	return cq, plan, nil
+}
+
+// bindArgs converts Go arguments into the $N parameter frame.
+func (st *Stmt) bindArgs(args []any) (*paramScope, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	db := st.sess.db
+	tmap := make(map[string]types.Type, len(args))
+	vmap := make(map[string]value.Value, len(args))
+	for i, raw := range args {
+		name := "$" + strconv.Itoa(i+1)
+		t := st.ptypes[i]
+		if t == nil {
+			t = types.Varchar // dynamically typed slot; shape from the native
+		}
+		v, err := db.valueFromGo(types.Component{Mode: types.Own, Type: t}, raw)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		tmap[name] = t
+		vmap[name] = v
+	}
+	return &paramScope{types: tmap, values: vmap}, nil
+}

@@ -66,6 +66,7 @@ func (db *DB) finishTrace(s *Session, src, kind string, tr *trace.StmtTrace, sta
 	db.hParse.Observe(tr.Dur(trace.PhaseParse))
 	db.hCheck.Observe(tr.Dur(trace.PhaseCheck))
 	db.hPlan.Observe(tr.Dur(trace.PhasePlan))
+	db.hCompile.Observe(tr.Dur(trace.PhaseCompile))
 	db.hExecute.Observe(tr.Dur(trace.PhaseExecute))
 	db.hStmt.Observe(total)
 	db.cRows.Add(uint64(tr.Rows))
