@@ -410,3 +410,50 @@ const exprHeavyQuery = `retrieve (n = count(E.name)) from E in Employees, D in D
 	+ (E.salary * 29 + D.floor * 41) % 47 + (E.salary * 31 + 43) % 43 + (E.salary * 37 + 47) % 41
 	+ ((13 * 17 + 5) * 3 - 100) % 50 + (E.salary - 250) * (D.floor - 750) % 67
 	+ (E.salary - 125) * (E.salary - 375) % 37 + (E.salary - 625) * (E.salary - 875) % 31 < 40`
+
+// B12 — writer interference on the MVCC read path: the same reader
+// query timed on a quiet database and with one session looping a bulk
+// salary update the whole run. Snapshot reads pin a version during a
+// short shared-lock window and execute lock-free, so the two per-op
+// times should stay close; a statement-scoped reader lock would park
+// each read behind a full bulk-update statement.
+func writerInterferenceBench(b *testing.B, withWriter bool) {
+	db := mustWorkload(b, workload.Params{Departments: 20, Employees: 2000, Floors: 5, Seed: 13}, 8192)
+	q := `retrieve (E.name) from E in Employees where E.dept.floor = 2`
+	if _, err := db.Query(q); err != nil { // warm the pool and plan cache
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	if withWriter {
+		go func() {
+			defer close(done)
+			w := db.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Exec(`replace E (salary = E.salary + 1) from E in Employees where E.dept.floor = 2`); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	} else {
+		close(done)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func BenchmarkWriterInterferenceQuiet(b *testing.B)      { writerInterferenceBench(b, false) }
+func BenchmarkWriterInterferenceBulkWriter(b *testing.B) { writerInterferenceBench(b, true) }

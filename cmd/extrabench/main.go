@@ -698,6 +698,15 @@ type concRecord struct {
 	TotalNs     int64   `json:"total_ns"`
 	StmtsPerSec float64 `json:"stmts_per_sec"`
 	Speedup     float64 `json:"speedup_vs_serial"`
+	// Writer-interference columns (the MVCC oracle): per-statement read
+	// latency percentiles measured with and without a concurrent bulk
+	// updater. Under snapshot reads the two distributions should be
+	// close; under the old statement RWMutex the p99 with a writer was
+	// the writer's statement time.
+	BulkWriter  bool  `json:"bulk_writer,omitempty"`
+	WriterStmts int   `json:"writer_stmts,omitempty"`
+	ReadP50Ns   int64 `json:"read_p50_ns,omitempty"`
+	ReadP99Ns   int64 `json:"read_p99_ns,omitempty"`
 }
 
 // b12 measures read-statement throughput as goroutines are added, each
@@ -767,6 +776,30 @@ func b12() error {
 			Speedup:     speedup,
 		})
 	}
+	// Writer interference: a fixed reader pool's per-statement latency
+	// distribution, quiet vs with a bulk updater looping in the
+	// background. Snapshot reads pin a version and execute lock-free, so
+	// the writer should move the reader percentiles barely at all; a
+	// statement-scoped reader lock would park every reader for a full
+	// bulk-update statement and blow up the p99.
+	readers := 4
+	if *par > 0 {
+		readers = *par
+	}
+	fmt.Println()
+	row("bulk writer", "reads", "writer stmts", "read p50", "read p99", "reads/sec")
+	for _, withWriter := range []bool{false, true} {
+		rec, err := b12Interference(db, q, readers, perG, withWriter)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+		row(withWriter, rec.Statements, rec.WriterStmts,
+			time.Duration(rec.ReadP50Ns).Round(time.Microsecond),
+			time.Duration(rec.ReadP99Ns).Round(time.Microsecond),
+			fmt.Sprintf("%.0f", rec.StmtsPerSec))
+	}
+
 	raw, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return err
@@ -776,6 +809,90 @@ func b12() error {
 	}
 	fmt.Println("  wrote BENCH_concurrency.json")
 	return nil
+}
+
+// b12Interference measures one cell of the writer-interference table:
+// readers reader goroutines each run perG statements of q, recording
+// every statement's wall time; when withWriter is set, one session
+// loops a bulk salary update the whole while.
+func b12Interference(db *extra.DB, q string, readers, perG int, withWriter bool) (concRecord, error) {
+	stop := make(chan struct{})
+	werrc := make(chan error, 1)
+	writerStmts := 0
+	var wwg sync.WaitGroup
+	if withWriter {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			w := db.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Exec(`replace E (salary = E.salary + 1) from E in Employees where E.dept.floor = 2`); err != nil {
+					werrc <- err
+					return
+				}
+				writerStmts++
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	errc := make(chan error, readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			mine := make([]time.Duration, 0, perG)
+			for j := 0; j < perG; j++ {
+				t0 := time.Now()
+				if _, err := sess.Query(q); err != nil {
+					errc <- err
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	wwg.Wait()
+	select {
+	case err := <-errc:
+		return concRecord{}, err
+	case err := <-werrc:
+		return concRecord{}, err
+	default:
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	name := "ReaderLatencyQuiet"
+	if withWriter {
+		name = "ReaderLatencyBulkWriter"
+	}
+	return concRecord{
+		Name:        name,
+		Goroutines:  readers,
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Statements:  len(lats),
+		TotalNs:     elapsed.Nanoseconds(),
+		StmtsPerSec: float64(len(lats)) / elapsed.Seconds(),
+		BulkWriter:  withWriter,
+		WriterStmts: writerStmts,
+		ReadP50Ns:   lats[len(lats)/2].Nanoseconds(),
+		ReadP99Ns:   lats[len(lats)*99/100].Nanoseconds(),
+	}, nil
 }
 
 // compileRecord is one line of BENCH_compile.json: the machine-readable

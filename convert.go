@@ -30,10 +30,14 @@ func (o Obj) String() string { return fmt.Sprintf("%s<%s>", o.id, o.typ) }
 // through the EXCESS parser — the API a loader utility would use. Nested
 // own and own-ref components may be given as Attrs / []any trees; the
 // store applies the usual internalization (ownership, padding, range
-// checks).
+// checks). Like any mutation it serializes on the write lock and
+// publishes a snapshot, so concurrent readers see each inserted object
+// atomically.
+//
+// extra:acquires db.wmu.W
 func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	v, ok := db.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {
 		return Obj{}, fmt.Errorf("%s is not an object-set extent", extent)
@@ -45,6 +49,9 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 		return Obj{}, err
 	}
 	id, err := db.store.Insert(extent, tv)
+	if cerr := db.store.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return Obj{}, err
 	}
@@ -53,9 +60,11 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 
 // SetRef stores a reference attribute on an object (bulk wiring of
 // relationships without EXCESS).
+//
+// extra:acquires db.wmu.W
 func (db *DB) SetRef(obj Obj, attr string, target Obj) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	tv, ok, err := db.store.Get(obj.id)
 	if err != nil {
 		return err
@@ -71,7 +80,11 @@ func (db *DB) SetRef(obj Obj, attr string, target Obj) error {
 		nv = value.Ref{OID: target.id, Type: target.typ}
 	}
 	tv.Set(attr, nv)
-	return db.store.Update(obj.id, tv)
+	err = db.store.Update(obj.id, tv)
+	if cerr := db.store.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // tupleFromAttrs converts a Go attribute map into a typed tuple value.

@@ -22,29 +22,44 @@ import (
 // replay into a fresh database. Authorization state (users, groups,
 // grants) is session configuration and is not dumped.
 //
+// A dump is a read statement: it pins the store's published snapshot
+// and renders the schema during one short shared-lock window, then
+// writes everything after the window. Writers keep committing while the
+// dump streams out, and the dump observes none of them — the output is
+// the single version pinned at the start, byte-stable no matter how
+// slow w is.
+//
 // extra:acquires db.mu.R
 // extra:output
 func (db *DB) Dump(w io.Writer) error {
-	// A dump only reads; the shared lock lets it run beside queries
-	// while still excluding writers (a consistent snapshot).
+	// Pin window: render the schema sections and pin the data snapshot
+	// under the shared lock, so the DDL text and the exported data agree
+	// on one catalog version.
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "#extra-dump v1")
-
-	// Schema: enums, tuple types (dependency order), creates, functions,
-	// procedures. Indexes come after the data so restore backfills them.
-	fmt.Fprintln(bw, "--ddl")
+	if db.closed {
+		db.mu.RUnlock()
+		return errDBClosed
+	}
+	var ddl []string
 	for _, name := range db.cat.EnumNames() {
 		e, _ := db.cat.EnumType(name)
-		fmt.Fprintf(bw, "define enum %s : ( %s )\n", e.Name, strings.Join(e.Labels, ", "))
+		ddl = append(ddl, fmt.Sprintf("define enum %s : ( %s )", e.Name, strings.Join(e.Labels, ", ")))
 	}
 	for _, tt := range db.typesInDependencyOrder() {
-		fmt.Fprintln(bw, strings.ReplaceAll(tt.DDL(), "\n", " "))
+		ddl = append(ddl, strings.ReplaceAll(tt.DDL(), "\n", " "))
 	}
+	// Element-set and scalar variables are exported from the snapshot
+	// after the window; record which is which while the catalog is
+	// pinned. Object sets are covered wholesale by ExportObjects.
+	type varRec struct {
+		name  string
+		elems bool
+	}
+	var vars []varRec
 	for _, name := range db.cat.VarNames() {
 		v, _ := db.cat.Var(name)
-		fmt.Fprintf(bw, "create %s : %s", v.Name, v.Comp.String())
+		var b strings.Builder
+		fmt.Fprintf(&b, "create %s : %s", v.Name, v.Comp.String())
 		for _, ix := range db.cat.IndexesOn(name) {
 			if len(ix.KeyPaths) == 0 {
 				continue
@@ -53,22 +68,51 @@ func (db *DB) Dump(w io.Writer) error {
 			for i, p := range ix.KeyPaths {
 				attrs[i] = strings.Join(p, ".")
 			}
-			fmt.Fprintf(bw, " key (%s)", strings.Join(attrs, ", "))
+			fmt.Fprintf(&b, " key (%s)", strings.Join(attrs, ", "))
 		}
-		fmt.Fprintln(bw)
+		ddl = append(ddl, b.String())
+		switch {
+		case v.IsObjectSet():
+		case v.IsRefSet() || v.IsValueSet():
+			vars = append(vars, varRec{name: name, elems: true})
+		default:
+			vars = append(vars, varRec{name: name})
+		}
 	}
 	for _, name := range db.cat.FunctionNames() {
 		for _, fn := range db.cat.Functions(name) {
-			fmt.Fprintln(bw, renderFunction(fn))
+			ddl = append(ddl, renderFunction(fn))
 		}
 	}
 	for _, name := range db.cat.ProcedureNames() {
 		p, _ := db.cat.Procedure(name)
-		fmt.Fprintln(bw, renderProcedure(p))
+		ddl = append(ddl, renderProcedure(p))
 	}
+	var ixLines []string
+	for _, name := range db.cat.IndexNames() {
+		ix, _ := db.cat.Index(name)
+		if len(ix.KeyPaths) > 0 {
+			continue // key constraints are dumped with their create statement
+		}
+		uq := ""
+		if ix.Unique {
+			uq = "unique "
+		}
+		ixLines = append(ixLines, fmt.Sprintf("define %sindex %s on %s (%s)", uq, ix.Name, ix.Extent, strings.Join(ix.Path, ".")))
+	}
+	snap := db.store.Snapshot()
+	db.mu.RUnlock()
 
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#extra-dump v1")
+	// Schema: enums, tuple types (dependency order), creates, functions,
+	// procedures. Indexes come after the data so restore backfills them.
+	fmt.Fprintln(bw, "--ddl")
+	for _, l := range ddl {
+		fmt.Fprintln(bw, l)
+	}
 	fmt.Fprintln(bw, "--data")
-	objs, err := db.store.ExportObjects()
+	objs, err := snap.ExportObjects()
 	if err != nil {
 		return err
 	}
@@ -79,39 +123,26 @@ func (db *DB) Dump(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "OBJ %s %d %d %s\n", ext, o.OID, o.Owner, hex.EncodeToString(o.Data))
 	}
-	for _, name := range db.cat.VarNames() {
-		v, _ := db.cat.Var(name)
-		switch {
-		case v.IsObjectSet():
-			// objects dumped above
-		case v.IsRefSet() || v.IsValueSet():
-			elems, err := db.store.ExportElems(name)
+	for _, vr := range vars {
+		if vr.elems {
+			elems, err := snap.ExportElems(vr.name)
 			if err != nil {
 				return err
 			}
 			for _, e := range elems {
-				fmt.Fprintf(bw, "ELEM %s %s\n", name, hex.EncodeToString(e))
+				fmt.Fprintf(bw, "ELEM %s %s\n", vr.name, hex.EncodeToString(e))
 			}
-		default:
-			data, err := db.store.ExportVar(name)
+		} else {
+			data, err := snap.ExportVar(vr.name)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(bw, "VAR %s %s\n", name, hex.EncodeToString(data))
+			fmt.Fprintf(bw, "VAR %s %s\n", vr.name, hex.EncodeToString(data))
 		}
 	}
-
 	fmt.Fprintln(bw, "--indexes")
-	for _, name := range db.cat.IndexNames() {
-		ix, _ := db.cat.Index(name)
-		if len(ix.KeyPaths) > 0 {
-			continue // key constraints are dumped with their create statement
-		}
-		uq := ""
-		if ix.Unique {
-			uq = "unique "
-		}
-		fmt.Fprintf(bw, "define %sindex %s on %s (%s)\n", uq, ix.Name, ix.Extent, strings.Join(ix.Path, "."))
+	for _, l := range ixLines {
+		fmt.Fprintln(bw, l)
 	}
 	fmt.Fprintln(bw, "--end")
 	return bw.Flush()
@@ -141,6 +172,7 @@ func (db *DB) Load(r io.Reader) error {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	section := ""
 	lineNo := 0
+	var data []dataLine
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -148,23 +180,67 @@ func (db *DB) Load(r io.Reader) error {
 		case line == "" || strings.HasPrefix(line, "#"):
 			continue
 		case strings.HasPrefix(line, "--"):
+			// Leaving the data section flushes its records in one
+			// critical section, before the index DDL that backfills from
+			// them.
+			if section == "--data" {
+				if err := db.restoreData(data); err != nil {
+					return err
+				}
+				data = nil
+			}
 			section = line
 			continue
 		}
-		var err error
 		switch section {
 		case "--ddl", "--indexes":
-			_, err = db.Exec(line)
+			if _, err := db.Exec(line); err != nil {
+				return fmt.Errorf("dump line %d: %w", lineNo, err)
+			}
 		case "--data":
-			err = db.loadDataLine(line)
+			data = append(data, dataLine{no: lineNo, text: line})
 		default:
-			err = fmt.Errorf("content outside a section")
-		}
-		if err != nil {
-			return fmt.Errorf("dump line %d: %w", lineNo, err)
+			return fmt.Errorf("dump line %d: content outside a section", lineNo)
 		}
 	}
+	if err := db.restoreData(data); err != nil {
+		return err
+	}
 	return sc.Err()
+}
+
+// dataLine is one --data record with its source line (for errors).
+type dataLine struct {
+	no   int
+	text string
+}
+
+// restoreData replays the --data records in one write-lock critical
+// section and publishes a single snapshot at the end: the restore is
+// one logical mutation, so a concurrent reader sees either none of the
+// restored data or all of it.
+//
+// extra:acquires db.wmu.W
+func (db *DB) restoreData(lines []dataLine) error {
+	if len(lines) == 0 {
+		return nil
+	}
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed {
+		return errDBClosed
+	}
+	var err error
+	for _, l := range lines {
+		if lerr := db.loadDataLine(l.text); lerr != nil {
+			err = fmt.Errorf("dump line %d: %w", l.no, lerr)
+			break
+		}
+	}
+	if cerr := db.store.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile replays a snapshot file.
@@ -177,13 +253,12 @@ func (db *DB) LoadFile(path string) error {
 	return db.Load(f)
 }
 
-// loadDataLine restores one OBJ/ELEM/VAR record under the exclusive
-// statement lock, like any other mutation.
+// loadDataLine restores one OBJ/ELEM/VAR record into the live store;
+// the caller (restoreData) holds the write lock for the whole section
+// and commits once at the end.
 //
-// extra:acquires db.mu.W
+// extra:requires db.wmu.W
 func (db *DB) loadDataLine(line string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	fields := strings.SplitN(line, " ", 5)
 	switch fields[0] {
 	case "OBJ":

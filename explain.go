@@ -36,7 +36,7 @@ func (db *DB) Explain(src string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("explain: %w", ErrNotRetrieve)
 	}
-	// Planning never executes the query; shared lock suffices even for
+	// Planning never executes the query; a pin window suffices even for
 	// retrieve into.
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -62,7 +62,12 @@ func (db *DB) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	plan := db.exec.Plan(cq.Query)
+	// Plan against a pinned snapshot so cardinality estimation reads a
+	// stable view, not extents a concurrent writer is growing.
+	es := db.exec.NewState()
+	defer es.Release()
+	es.BindSnapshot(db.store.Snapshot())
+	plan := es.Plan(cq.Query)
 	return plan.Explain(), nil
 }
 
@@ -111,7 +116,10 @@ func (db *DB) ExplainAnalyzeJSON(src string) (string, error) {
 
 // analyze parses, checks, plans and executes one retrieve with runtime
 // collection enabled, returning the instrumented plan and the
-// statement-level summary.
+// statement-level summary. Unlike Explain, the query really runs: it is
+// classified like any other statement — a plain retrieve takes the
+// snapshot read path, a retrieve into mutates the catalog and store and
+// serializes like DDL.
 func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error) {
 	var sum algebra.AnalyzeSummary
 	t0 := time.Now()
@@ -124,36 +132,102 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 	if !ok {
 		return nil, sum, fmt.Errorf("explain analyze: %w", ErrNotRetrieve)
 	}
-	// Unlike Explain, the query really runs: classify it like any other
-	// statement (a retrieve into mutates the catalog and store).
-	unlock := db.lockStatements(sema.ReadOnly(st))
-	defer unlock()
+	if sema.ReadOnly(st) {
+		return db.analyzeSnapshot(r, sum, t0)
+	}
+	return db.analyzeWrite(r, sum, t0)
+}
+
+// analyzeSnapshot is analyze's read path: check, authorize and plan
+// inside a pin window, then run instrumented against the pinned
+// snapshot with no lock held.
+//
+// extra:acquires db.mu.R
+func (db *DB) analyzeSnapshot(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.Time) (*algebra.Plan, algebra.AnalyzeSummary, error) {
+	sess := db.def
+	if !db.beginPin() {
+		return nil, sum, errDBClosed
+	}
+	es := db.exec.NewState()
+	es.BindSnapshot(db.store.Snapshot())
+	cq, err := sess.checker(nil).CheckRetrieve(r)
+	sum.Check = time.Since(t0) - sum.Parse
+	if err == nil {
+		err = sess.authQuery(cq.Query, nil, targetExprs(cq)...)
+	}
+	var plan *algebra.Plan
+	if err == nil {
+		tp := time.Now()
+		plan = es.Plan(cq.Query)
+		sum.Plan = time.Since(tp)
+	}
+	db.mu.RUnlock()
+	defer es.Release()
+	if err != nil {
+		return nil, sum, err
+	}
+	plan.EnableRuntime()
+	poolBase := db.pool.Stats()
+	te := time.Now()
+	res, err := es.RetrievePlan(cq, plan)
+	sum.Execute = time.Since(te)
+	if err != nil {
+		return nil, sum, err
+	}
+	db.finishAnalyze(&sum, cq, res, poolBase)
+	return plan, sum, nil
+}
+
+// analyzeWrite is analyze's write path (retrieve into): it mutates the
+// catalog and the store, so it serializes like DDL — the write lock
+// plus the exclusive statement lock — and publishes the snapshot its
+// mutations produce.
+//
+// extra:acquires db.wmu.W
+// extra:acquires db.mu.W
+func (db *DB) analyzeWrite(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.Time) (*algebra.Plan, algebra.AnalyzeSummary, error) {
+	sess := db.def
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return nil, sum, errDBClosed
 	}
-	sess := db.def
+	es := db.exec.NewState()
+	defer es.Release()
+	es.BindLive()
 	cq, err := sess.checker(nil).CheckRetrieve(r)
 	sum.Check = time.Since(t0) - sum.Parse
 	if err != nil {
 		return nil, sum, err
 	}
-	texprs := targetExprs(cq)
-	if err := sess.authQuery(cq.Query, nil, texprs...); err != nil {
+	if err := sess.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
 		return nil, sum, err
 	}
-	es := db.exec.NewState()
-	defer es.Release()
-	t0 = time.Now()
+	tp := time.Now()
 	plan := es.Plan(cq.Query)
-	sum.Plan = time.Since(t0)
+	sum.Plan = time.Since(tp)
 	plan.EnableRuntime()
 	poolBase := db.pool.Stats()
-	t0 = time.Now()
+	te := time.Now()
 	res, err := es.RetrievePlan(cq, plan)
-	sum.Execute = time.Since(t0)
+	sum.Execute = time.Since(te)
+	if cerr := db.store.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, sum, err
 	}
+	if cq.Into != "" {
+		db.auth.SetOwner(cq.Into, sess.user)
+	}
+	db.finishAnalyze(&sum, cq, res, poolBase)
+	return plan, sum, nil
+}
+
+// finishAnalyze fills the execution-side fields of the summary.
+func (db *DB) finishAnalyze(sum *algebra.AnalyzeSummary, cq *sema.CheckedRetrieve, res *Result, poolBase PoolStats) {
 	poolCur := db.pool.Stats()
 	sum.PoolHits = poolCur.Hits - poolBase.Hits
 	sum.PoolMisses = poolCur.Misses - poolBase.Misses
@@ -162,9 +236,5 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 	if cq.Aggregated {
 		sum.Groups = len(res.Rows)
 	}
-	if cq.Into != "" {
-		db.auth.SetOwner(cq.Into, sess.user)
-	}
 	db.metrics.Counter("stmt.analyze").Inc()
-	return plan, sum, nil
 }

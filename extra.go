@@ -26,14 +26,19 @@
 // # Concurrency
 //
 // Statements are classified by the sema layer: a retrieve without an
-// into clause is read-only and runs under the shared side of the DB's
-// readers-writer statement lock, so any number of read statements run
-// simultaneously; updates, DDL, range declarations, grants and
-// procedure executions take the exclusive side. DB.NewSession returns a
-// per-client Session with its own user identity and range declarations;
-// the DB-level Exec/Query methods are shorthands for a built-in default
-// session. A DB and its Sessions are safe for concurrent use by
-// multiple goroutines.
+// into clause is read-only; everything else (updates, DDL, range
+// declarations, grants, procedure executions) is a write. Reads use
+// MVCC snapshots: each read statement pins the store's latest
+// immutable snapshot during a short shared-lock window and then
+// executes entirely against it, lock-free — readers never block behind
+// a writer, no matter how long the write runs. Writes serialize on a
+// dedicated write mutex, mutate the live store, and publish a new
+// snapshot (copy-on-write: only the extents, variables and index trees
+// the statement dirtied are rebuilt) via an atomic pointer swap.
+// DB.NewSession returns a per-client Session with its own user
+// identity and range declarations; the DB-level Exec/Query methods are
+// shorthands for a built-in default session. A DB and its Sessions are
+// safe for concurrent use by multiple goroutines.
 package extra
 
 import (
@@ -59,6 +64,22 @@ import (
 // errDBClosed reports use of a closed database.
 var errDBClosed = errors.New("database is closed")
 
+// beginPin opens a read statement's pin window: it takes the shared
+// statement lock and reports whether the database is still open. On
+// false the lock has already been released; on true the caller owns a
+// read hold and must end the window with db.mu.RUnlock() once it has
+// pinned a snapshot and finished planning.
+//
+// extra:holds db.mu.R
+func (db *DB) beginPin() bool {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return false
+	}
+	return true
+}
+
 // Result re-exports the executor's result set.
 type Result = exec.Result
 
@@ -80,19 +101,25 @@ type Metrics = metrics.Registry
 type MetricsSnapshot = metrics.Snapshot
 
 // DB is an EXTRA/EXCESS database: catalog, object store, buffer pool,
-// metrics and the shared executor engine core. Statements take a
-// readers-writer lock — read-only statements (retrieve without into)
-// share it, mutating statements hold it exclusively — so a DB is safe
-// for concurrent use by multiple goroutines and concurrent reads scale
-// across cores. Per-client state (user, range declarations) lives in
-// Sessions (NewSession); the DB's own Exec/Query run on a built-in
-// default session.
+// metrics and the shared executor engine core. Read statements
+// (retrieve without into) pin an immutable store snapshot and run
+// lock-free against it; write statements serialize on the write mutex
+// and publish a new snapshot on commit — so a DB is safe for
+// concurrent use by multiple goroutines, concurrent reads scale across
+// cores, and a bulk update never stalls readers. Per-client state
+// (user, range declarations) lives in Sessions (NewSession); the DB's
+// own Exec/Query run on a built-in default session.
 type DB struct {
-	// mu is the statement lock. Read-only statements hold it shared;
-	// mutating statements (and Close) hold it exclusively. Everything
-	// the read path touches below it — store reads, buffer pool,
-	// catalog, B+-tree lookups, metrics — is safe under concurrent
-	// readers.
+	// wmu is the commit lock: every write statement batch holds it for
+	// the batch's duration, mutating the live store and publishing a
+	// snapshot per statement. Lock order: wmu before mu, always.
+	wmu sync.Mutex // extra:lock db.wmu
+	// mu guards the narrow coherence windows that remain after MVCC:
+	// the closed flag, read statements' snapshot-pin + plan windows
+	// (shared), and DDL's catalog-mutation + commit window (exclusive),
+	// so a pinned reader never plans against a catalog newer than its
+	// snapshot. It is held for the pin window only — never across read
+	// execution.
 	mu    sync.RWMutex // extra:lock db.mu
 	reg   *adt.Registry
 	cat   *catalog.Catalog
@@ -233,11 +260,17 @@ func Open(opts ...Option) (*DB, error) {
 	return db, nil
 }
 
-// Close flushes dirty pages and releases the page store.
+// Close flushes dirty pages and releases the page store. It takes the
+// write lock first (draining any in-flight write batch) and then the
+// statement lock, so no statement — read pin window or write — is
+// mid-flight when the pool flushes.
 //
+// extra:acquires db.wmu.W
 // extra:acquires db.mu.W
 func (db *DB) Close() error {
 	db.stopDebugServer()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -259,11 +292,16 @@ func (db *DB) Registry() *adt.Registry { return db.reg }
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // SetOptimizer configures query optimization (benchmarks use this to
-// compare optimized and naive plans). It takes the exclusive statement
-// lock so options never change under a running statement.
+// compare optimized and naive plans). It takes the write lock and the
+// exclusive statement lock so options never change under a running
+// write batch or inside a reader's pin window (readers copy the
+// options into their State while pinned and use the copy thereafter).
 //
+// extra:acquires db.wmu.W
 // extra:acquires db.mu.W
 func (db *DB) SetOptimizer(o OptimizerOptions) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.exec.SetOptions(o)
@@ -352,7 +390,8 @@ func (db *DB) Exec(src string) (*Result, error) { return db.def.Exec(src) }
 
 // Query is Exec for a single retrieve; it errors when the source is not
 // exactly one retrieve statement. Retrieves without an into clause run
-// under the shared statement lock, concurrently with other readers.
+// against a pinned snapshot, concurrently with writers and other
+// readers.
 func (db *DB) Query(src string) (*Result, error) { return db.def.Query(src) }
 
 // MustExec runs statements and panics on error; for examples and tests.
@@ -387,13 +426,14 @@ func (p *paramScope) typesOrNil() map[string]types.Type {
 
 // CheckConsistency runs the object store's structural fsck: ownership
 // symmetry, extent maps, index completeness and uniqueness. It returns
-// the violations found (nil means consistent). It reads under the
-// shared statement lock.
+// the violations found (nil means consistent). It inspects the live
+// store's working state — including the working index trees — so it
+// holds the write lock, excluding writers rather than readers.
 //
-// extra:acquires db.mu.R
+// extra:acquires db.wmu.W
 // extra:output
 func (db *DB) CheckConsistency() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	return db.store.CheckConsistency()
 }

@@ -29,7 +29,7 @@ type cachedExtent struct {
 // ensureCache flushes the cache when the store has mutated since it was
 // populated (any insert/update/delete/variable write bumps the version).
 func (ex *State) ensureCache() {
-	ver := ex.store.Version()
+	ver := ex.reader().Version()
 	if ex.derefCache == nil {
 		ex.derefCache = make(map[oid.OID]*value.Tuple)
 		ex.extentCache = make(map[string]*cachedExtent)
@@ -46,7 +46,7 @@ func (ex *State) ensureCache() {
 // derefGet is store.Get behind the cache.
 func (ex *State) derefGet(id oid.OID) (*value.Tuple, bool, error) {
 	if ex.opts.NoDerefCache {
-		return ex.store.Get(id)
+		return ex.reader().Get(id)
 	}
 	ex.ensureCache()
 	if tv, ok := ex.derefCache[id]; ok {
@@ -56,7 +56,7 @@ func (ex *State) derefGet(id oid.OID) (*value.Tuple, bool, error) {
 		}
 		return tv, true, nil
 	}
-	tv, live, err := ex.store.Get(id)
+	tv, live, err := ex.reader().Get(id)
 	if err != nil {
 		return nil, false, err
 	}
@@ -91,7 +91,7 @@ func (ex *State) scanExtentCached(extent string, fn func(id oid.OID, tv *value.T
 		return nil
 	}
 	ce := &cachedExtent{}
-	err := ex.store.ScanExtent(extent, func(id oid.OID, tv *value.Tuple) error {
+	err := ex.reader().ScanExtent(extent, func(id oid.OID, tv *value.Tuple) error {
 		if prior, seen := ex.derefCache[id]; seen {
 			tv = prior // keep one canonical decoded copy per object
 		} else {

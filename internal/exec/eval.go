@@ -33,7 +33,7 @@ func (ex *State) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
 		}
 		return nil, fmt.Errorf("parameter %s not bound", x.Name)
 	case *sema.DBVarRead:
-		return ex.store.GetVar(x.Name)
+		return ex.reader().GetVar(x.Name)
 	case *sema.ExtentSet:
 		return ex.materializeExtent(x.Name)
 	case *sema.PathExpr:
@@ -68,14 +68,15 @@ func (ex *State) eval(ctx *evalCtx, e sema.Expr) (value.Value, error) {
 // as Objects, elements as values) for whole-extent aggregation.
 func (ex *State) materializeExtent(name string) (value.Value, error) {
 	s := &value.Set{}
-	if ex.store.IsObjectExtent(name) {
-		err := ex.store.ScanExtent(name, func(id oidpkg.OID, tv *value.Tuple) error {
+	r := ex.reader()
+	if r.IsObjectExtent(name) {
+		err := r.ScanExtent(name, func(id oidpkg.OID, tv *value.Tuple) error {
 			s.Elems = append(s.Elems, value.Object{OID: id, Tuple: tv})
 			return nil
 		})
 		return s, err
 	}
-	err := ex.store.ScanElems(name, func(_ storage.RID, v value.Value) error {
+	err := r.ScanElems(name, func(_ storage.RID, v value.Value) error {
 		if r, isRef := v.(value.Ref); isRef {
 			tv, ok, err := ex.derefGet(r.OID)
 			if err != nil {
@@ -373,7 +374,7 @@ func (ex *State) liveOID(v value.Value) (oidOf, bool) {
 	if !ok {
 		return 0, false
 	}
-	if _, isRef := v.(value.Ref); isRef && !ex.store.Exists(id) {
+	if _, isRef := v.(value.Ref); isRef && !ex.reader().Exists(id) {
 		return 0, false
 	}
 	return id, true
@@ -496,7 +497,7 @@ func (ex *State) ownCopy(comp types.Component, v value.Value) (value.Value, erro
 	switch comp.Mode {
 	case types.OwnRef:
 		if r, ok := v.(value.Ref); ok {
-			tv, live, err := ex.store.Get(r.OID)
+			tv, live, err := ex.reader().Get(r.OID)
 			if err != nil {
 				return nil, err
 			}

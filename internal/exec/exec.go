@@ -81,6 +81,17 @@ type Executor struct {
 type State struct {
 	*Executor
 
+	// snap, when non-nil, is the immutable store snapshot this statement
+	// is pinned to (BindSnapshot); all reads route through reader(). Nil
+	// means the statement reads the live store (write path).
+	snap *object.Snapshot
+
+	// opts is the statement's private copy of the optimizer options,
+	// taken under the database lock by NewState/BindSnapshot/BindLive so
+	// execution after the lock is released never races SetOptions. It
+	// shadows Executor.opts in State methods.
+	opts algebra.Options
+
 	params []map[string]value.Value // function/procedure parameter frames
 	depth  int
 
@@ -124,9 +135,11 @@ func New(store *object.Store, cat *catalog.Catalog) *Executor {
 // core, reusing a pooled one when available.
 func (ex *Executor) NewState() *State {
 	if v := ex.statePool.Get(); v != nil {
-		return v.(*State)
+		s := v.(*State)
+		s.opts = ex.opts
+		return s
 	}
-	return &State{Executor: ex}
+	return &State{Executor: ex, opts: ex.opts}
 }
 
 // Release resets the statement-scoped fields and returns the state to
@@ -139,15 +152,17 @@ func (ex *State) Release() {
 	ex.params = ex.params[:0]
 	ex.depth = 0
 	ex.tr = nil
+	ex.snap = nil
 	ex.derefHits, ex.derefMisses = 0, 0
 	ex.Executor.statePool.Put(ex)
 }
 
 // SetOptions configures the optimizer (used by the benchmarks to compare
 // optimized and naive plans). It must not race with running statements;
-// the database layer calls it under its exclusive statement lock.
+// the database layer calls it with both statement locks held (writers
+// excluded by wmu, readers copy opts under db.mu).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *Executor) SetOptions(o algebra.Options) { ex.opts = o }
 
 // Options returns the current optimizer options.
@@ -437,9 +452,10 @@ func (ex *State) enumerate(b *binding, n *algebra.Node, rs *runState, emit func(
 		if n.Hash != nil && rs != nil {
 			return ex.hashProbe(b, n, rs, emit)
 		}
-		if ex.store.IsObjectExtent(v.Extent) {
+		r := ex.reader()
+		if r.IsObjectExtent(v.Extent) {
 			if n.Access != nil {
-				ids := object.IndexLookup(n.Access.Index, n.Access.Lo, n.Access.Hi, n.Access.IncLo, n.Access.IncHi)
+				ids := r.IndexLookup(n.Access.Index, n.Access.Lo, n.Access.Hi, n.Access.IncLo, n.Access.IncHi)
 				for _, id := range ids {
 					tv, ok, err := ex.derefGet(id)
 					if err != nil {
@@ -459,12 +475,12 @@ func (ex *State) enumerate(b *binding, n *algebra.Node, rs *runState, emit func(
 					return emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent})
 				})
 			}
-			return ex.store.ScanExtent(v.Extent, func(id oid.OID, tv *value.Tuple) error {
+			return r.ScanExtent(v.Extent, func(id oid.OID, tv *value.Tuple) error {
 				return emit(value.Object{OID: id, Tuple: tv}, prov{oid: id, extent: v.Extent})
 			})
 		}
-		if ex.store.IsElemExtent(v.Extent) {
-			return ex.store.ScanElems(v.Extent, func(rid storage.RID, ev value.Value) error {
+		if r.IsElemExtent(v.Extent) {
+			return r.ScanElems(v.Extent, func(rid storage.RID, ev value.Value) error {
 				pr := prov{extent: v.Extent, rid: rid}
 				if r, isRef := ev.(value.Ref); isRef {
 					tv, ok, err := ex.derefGet(r.OID)
@@ -528,7 +544,7 @@ func (ex *State) nestStart(b *binding, v *sema.Var) (value.Value, collOwner, err
 		}
 		return val, own, nil
 	default: // VarDBPath
-		val, err := ex.store.GetVar(v.Extent)
+		val, err := ex.reader().GetVar(v.Extent)
 		if err != nil {
 			return nil, collOwner{}, err
 		}

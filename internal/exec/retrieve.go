@@ -263,7 +263,7 @@ func valueKey(v value.Value) string {
 // a set of own tuples of a synthesized result type named "<Name>_t".
 // Object and reference columns are stored as references.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) materializeInto(cq *sema.CheckedRetrieve, res *Result) error {
 	typeName := cq.Into + "_t"
 	var attrs []types.Attr

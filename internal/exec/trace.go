@@ -40,7 +40,7 @@ func (ex *State) endOpSpan(sp int, rows int) {
 // appended (one per binding of the from/where clause; one when the
 // statement has no bindings).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) Append(ca *sema.CheckedAppend) (int, error) {
 	sp := ex.opSpan("append")
 	n, err := ex.appendStmt(ca)
@@ -51,7 +51,7 @@ func (ex *State) Append(ca *sema.CheckedAppend) (int, error) {
 // Delete executes a checked delete: removes the variable's bindings from
 // their collection, destroying owned objects.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) Delete(cd *sema.CheckedDelete) (int, error) {
 	sp := ex.opSpan("delete")
 	n, err := ex.deleteStmt(cd)
@@ -63,7 +63,7 @@ func (ex *State) Delete(cd *sema.CheckedDelete) (int, error) {
 // attributes and stores the object (or rewrites the owning container for
 // own elements without identity).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 	sp := ex.opSpan("replace")
 	n, err := ex.replaceStmt(cr)
@@ -75,7 +75,7 @@ func (ex *State) Replace(cr *sema.CheckedReplace) (int, error) {
 // at most one row (zero bindings with variables is an error; a set with
 // no variables always has its one empty binding).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) Set(cs *sema.CheckedSet) error {
 	sp := ex.opSpan("set")
 	err := ex.setStmt(cs)
@@ -87,7 +87,7 @@ func (ex *State) Set(cs *sema.CheckedSet) error {
 // per binding of the from/where clause with the arguments bound as
 // parameters (the generalized IDM stored command).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) Execute(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
 	sp := ex.opSpan("execute " + ce.Proc.Name)
 	n, err := ex.executeStmt(ce, runBody)

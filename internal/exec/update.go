@@ -14,7 +14,7 @@ import (
 // appended (one per binding of the from/where clause; one when the
 // statement has no bindings).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) appendStmt(ca *sema.CheckedAppend) (int, error) {
 	type job struct {
 		elem  value.Value
@@ -109,7 +109,7 @@ func (ex *State) resolveOwner(v value.Value, b *binding, e sema.Expr) (value.Val
 
 // appendToExtent inserts a new element into a top-level collection.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error {
 	if ex.store.IsObjectExtent(ca.Extent) {
 		switch ev := elem.(type) {
@@ -147,7 +147,7 @@ func (ex *State) appendToExtent(ca *sema.CheckedAppend, elem value.Value) error 
 // container path runs through a ref or own-ref component), the mutation
 // redirects to the referenced object.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) error {
 	var redirect *prov
 	apply := func(root value.Value) (value.Value, error) {
@@ -249,7 +249,7 @@ func (ex *State) mutateCollection(loc prov, fn func(coll *[]value.Value) error) 
 // Delete executes a checked delete: removes the variable's bindings from
 // their collection, destroying owned objects.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) deleteStmt(cd *sema.CheckedDelete) (int, error) {
 	var objs []oid.OID
 	var elems []prov
@@ -347,7 +347,7 @@ func stepsKey(steps []sema.Step) string {
 // attributes and stores the object (or rewrites the owning container for
 // own elements without identity).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) replaceStmt(cr *sema.CheckedReplace) (int, error) {
 	type job struct {
 		pr   prov
@@ -418,7 +418,7 @@ func (ex *State) replaceStmt(cr *sema.CheckedReplace) (int, error) {
 // at most one row (zero bindings with variables is an error; a set with
 // no variables always has its one empty binding).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) setStmt(cs *sema.CheckedSet) error {
 	var rows []*binding
 	plan := ex.Plan(cs.Query)
@@ -481,7 +481,7 @@ func (ex *State) setStmt(cs *sema.CheckedSet) error {
 // per binding of the from/where clause with the arguments bound as
 // parameters (the generalized IDM stored command).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (ex *State) executeStmt(ce *sema.CheckedExecute, runBody func(params map[string]value.Value) error) (int, error) {
 	type frame = map[string]value.Value
 	var frames []frame

@@ -9,7 +9,8 @@ package lockcheck
 import "sync"
 
 type DB struct {
-	mu sync.RWMutex // extra:lock db.mu
+	wmu sync.Mutex   // extra:lock db.wmu
+	mu  sync.RWMutex // extra:lock db.mu
 }
 
 // mutate writes DB state.
@@ -205,9 +206,98 @@ func run(d *DB, st any) {
 	}
 }
 
+// Two-lock MVCC shape: wmu is the commit lock serializing write
+// batches; mu shrinks to pin windows (shared) and DDL windows
+// (exclusive). The fixtures below pin down the split — commits need
+// only wmu, the commit lock says nothing about mu, and the read path
+// holds mu only while pinning, never during execution.
+
+// commit publishes a write batch's snapshot. Only the commit lock is
+// needed; readers never block on it.
+//
+// extra:requires db.wmu.W
+func (d *DB) commit() {}
+
+// runWrite is the write-batch shape: the commit lock for the whole
+// batch, the statement lock only around the DDL arm.
+//
+// extra:acquires db.wmu.W
+// extra:acquires db.mu.W
+func (d *DB) runWrite(ddl bool) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if ddl {
+		d.mu.Lock()
+		d.mutate()
+		d.commit()
+		d.mu.Unlock()
+		return
+	}
+	d.commit()
+}
+
+// beginPin opens a read statement's pin window: shared statement lock
+// held on return, released by the caller when planning is done.
+//
+// extra:holds db.mu.R
+func (d *DB) beginPin() { d.mu.RLock() }
+
+// execPinned executes a compiled plan against a pinned snapshot. No
+// lock annotation at all: execution requires neither the statement
+// lock nor the commit lock.
+func (d *DB) execPinned() {}
+
+// goodSnapshotRead is the MVCC read-statement shape: pin, plan inside
+// the shared window, release, then execute lock-free. The executor
+// call after RUnlock is clean — proof the old statement-scoped db.mu
+// hold is gone from the read path.
+func goodSnapshotRead(d *DB) {
+	d.beginPin()
+	d.read() // planning happens inside the pin window
+	d.mu.RUnlock()
+	d.execPinned() // execution happens outside it, no diagnostic
+}
+
+func goodWriteBatch(d *DB) {
+	d.runWrite(true)
+	d.runWrite(false)
+}
+
+func badCatalogAfterPin(d *DB) {
+	d.beginPin()
+	d.mu.RUnlock()
+	d.read() // want `requires db.mu.R, but badCatalogAfterPin holds no lock`
+}
+
+func badCommitNoLock(d *DB) {
+	d.commit() // want `requires db.wmu.W, but badCommitNoLock holds no lock`
+}
+
+// The commit lock is not the statement lock: holding wmu does not
+// authorize catalog mutation, and vice versa.
+func badCommitLockForCatalog(d *DB) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.mutate() // want `requires db.mu.W, but badCommitLockForCatalog holds no lock`
+}
+
+func badStatementLockForCommit(d *DB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.commit() // want `requires db.wmu.W, but badStatementLockForCommit holds no lock`
+}
+
+func badReentrantBatch(d *DB) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.runWrite(false) // want `self-deadlock`
+}
+
 // keep the otherwise-unused fixture entry points alive for the compiler
 var _ = []func(*DB){
 	goodExclusive, goodShared, goodAcquirer, goodHolds,
 	badNoLock, badSharedForWrite, badReentrant, badAfterUnlock, badHoldsThenWrite,
+	goodSnapshotRead, goodWriteBatch, badCatalogAfterPin, badCommitNoLock,
+	badCommitLockForCatalog, badStatementLockForCommit, badReentrantBatch,
 }
 var _ = run

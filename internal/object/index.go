@@ -86,7 +86,7 @@ func indexKey(tv *value.Tuple, ix *catalog.Index) ([]byte, bool) {
 // enforce that no two live objects share a key; backfill fails on an
 // existing violation.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) BuildIndex(name, extent string, path []string, unique bool) (*catalog.Index, error) {
 	v, ok := s.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {
@@ -104,13 +104,14 @@ func (s *Store) BuildIndex(name, extent string, path []string, unique bool) (*ca
 	if err := s.cat.AddIndex(ix); err != nil {
 		return nil, err
 	}
+	s.markIndexes()
 	return ix, nil
 }
 
 // BuildKey registers a key constraint on a set instance: a hidden unique
 // index over the given own scalar attributes.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) BuildKey(extent string, attrs []string, n int) (*catalog.Index, error) {
 	v, ok := s.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {
@@ -139,6 +140,7 @@ func (s *Store) BuildKey(extent string, attrs []string, n int) (*catalog.Index, 
 	if err := s.cat.AddIndex(ix); err != nil {
 		return nil, err
 	}
+	s.markIndexes()
 	return ix, nil
 }
 
@@ -199,18 +201,40 @@ func (s *Store) checkUnique(extent string, id oid.OID, tv *value.Tuple) error {
 	return nil
 }
 
+// treeWrite returns the index's working tree for mutation, cloning it
+// first when the current tree is shared with the latest published
+// snapshot. This is the index half of copy-on-write: at most one clone
+// per index per publication window, and every tree a snapshot holds is
+// frozen forever. The caller must hold the write lock.
+//
+// extra:requires db.wmu.W
+func (s *Store) treeWrite(ix *catalog.Index) *storage.BTree {
+	if sn := s.snap.Load(); sn != nil && sn.indexes[ix.Name] == ix.Tree {
+		ix.Tree = ix.Tree.Clone()
+	}
+	return ix.Tree
+}
+
+// indexInsert maintains every index on extent for a newly stored
+// object. Mutates working trees via treeWrite.
+//
+// extra:requires db.wmu.W
 func (s *Store) indexInsert(extent string, id oid.OID, tv *value.Tuple) {
 	for _, ix := range s.cat.IndexesOn(extent) {
 		if key, ok := indexKey(tv, ix); ok {
-			ix.Tree.Insert(key, uint64(id))
+			s.treeWrite(ix).Insert(key, uint64(id))
 		}
 	}
 }
 
+// indexDelete removes an object's entries from every index on extent.
+// Mutates working trees via treeWrite.
+//
+// extra:requires db.wmu.W
 func (s *Store) indexDelete(extent string, id oid.OID, tv *value.Tuple) {
 	for _, ix := range s.cat.IndexesOn(extent) {
 		if key, ok := indexKey(tv, ix); ok {
-			ix.Tree.Delete(key, uint64(id))
+			s.treeWrite(ix).Delete(key, uint64(id))
 		}
 	}
 }
@@ -225,4 +249,11 @@ func IndexLookup(ix *catalog.Index, lo, hi []byte, incLo, incHi bool) []oid.OID 
 		return true
 	})
 	return out
+}
+
+// IndexLookup is the live-store range probe, reading the current working
+// tree. Write-path statements use it; pinned readers go through
+// Snapshot.IndexLookup instead.
+func (s *Store) IndexLookup(ix *catalog.Index, lo, hi []byte, incLo, incHi bool) []oid.OID {
+	return IndexLookup(ix, lo, hi, incLo, incHi)
 }

@@ -144,6 +144,7 @@ func (s *Store) createOwned(tv *value.Tuple, owner oid.OID, kept map[oid.OID]boo
 		return oid.Nil, err
 	}
 	s.omap[id] = &objInfo{extent: "", rid: rid, typ: tv.Type, owner: owner}
+	s.markObj(id)
 	return id, nil
 }
 
@@ -163,6 +164,7 @@ func (s *Store) claim(id oid.OID, owner oid.OID) error {
 		return fmt.Errorf("object %s is already owned (composite exclusivity)", id)
 	}
 	info.owner = owner
+	s.markObj(id) // ownership is snapshot state (Owner, export)
 	return nil
 }
 
@@ -172,10 +174,11 @@ func (s *Store) claim(id oid.OID, owner oid.OID) error {
 // reads it, the fsck checks it), so releasing bumps the store version
 // like any other mutation.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) Release(id oid.OID) {
 	if info, ok := s.omap[id]; ok {
 		info.owner = oid.Nil
+		s.markObj(id)
 		s.bump()
 	}
 }
@@ -218,7 +221,7 @@ func collectOwned(comp types.Component, v value.Value, out map[oid.OID]bool) {
 // destroyOwned recursively destroys the own-ref components reachable
 // from a value being discarded.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) destroyOwned(comp types.Component, v value.Value) error {
 	owned := map[oid.OID]bool{}
 	collectOwned(comp, v, owned)

@@ -75,7 +75,7 @@ func (s *Store) ExportVar(name string) ([]byte, error) {
 // extent (or the nursery for components) must already exist; the encoded
 // tuple is stored verbatim and indexed.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) RestoreObject(o ExportObject) error {
 	s.bump()
 	if s.Exists(o.OID) {
@@ -103,6 +103,7 @@ func (s *Store) RestoreObject(o ExportObject) error {
 		return err
 	}
 	s.omap[o.OID] = &objInfo{extent: o.Extent, rid: rid, typ: tv.Type, owner: o.Owner}
+	s.markObj(o.OID)
 	if o.Extent != "" {
 		s.rids[o.Extent][rid] = o.OID
 		s.indexInsert(o.Extent, o.OID, tv)
@@ -113,9 +114,10 @@ func (s *Store) RestoreObject(o ExportObject) error {
 
 // RestoreElem re-creates one element of a ref/value-set extent.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) RestoreElem(extent string, data []byte) error {
 	s.bump()
+	s.markElems(extent)
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("restore: no element extent %s", extent)
@@ -127,9 +129,10 @@ func (s *Store) RestoreElem(extent string, data []byte) error {
 // RestoreVar overwrites a singleton/array variable with a dumped value
 // without ownership processing.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) RestoreVar(name string, data []byte) error {
 	s.bump()
+	s.markVar(name)
 	rid, ok := s.varRID[name]
 	if !ok {
 		return fmt.Errorf("restore: no variable %s", name)

@@ -1,0 +1,503 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/codec"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// The snapshot layer gives read statements an immutable view of the
+// store: a writer builds new extent/tuple state under the write lock and
+// publishes it atomically with Commit, while readers pinned to an older
+// Snapshot keep seeing exactly the versions that were live when they
+// pinned. This generalizes the deref cache's version-mismatch flush (a
+// cache valid "as long as Version is unchanged") into a first-class
+// contract: a Snapshot *is* the store at one version, forever.
+//
+// Mutating methods record what they touched in the store's dirty sets;
+// Commit decodes only the dirty objects, layers them over the previous
+// snapshot's object map, rebuilds the scan-order views of the dirty
+// extents, and publishes the result with one atomic pointer store. Index
+// trees are copy-on-write at a different grain: the live tree is cloned
+// lazily by treeWrite the first time a writer touches an index whose
+// tree is shared with the latest snapshot.
+
+// snapObj is one object's frozen state inside a snapshot. A nil tv is a
+// tombstone: the object was deleted in the layer's commit.
+type snapObj struct {
+	extent string
+	typ    *types.TupleType
+	owner  oid.OID
+	tv     *value.Tuple
+	enc    []byte // codec-encoded record, for byte-identical export
+}
+
+// objLayer is one commit's worth of object changes layered over its
+// parent. Lookups walk from the newest layer down; every maxLayerDepth
+// commits the chain is flattened so old snapshots can be collected and
+// lookups stay O(1).
+type objLayer struct {
+	m      map[oid.OID]snapObj
+	parent *objLayer
+	depth  int
+}
+
+const maxLayerDepth = 8
+
+func (l *objLayer) get(id oid.OID) (snapObj, bool) {
+	for c := l; c != nil; c = c.parent {
+		if so, ok := c.m[id]; ok {
+			if so.tv == nil {
+				return snapObj{}, false // tombstone
+			}
+			return so, true
+		}
+	}
+	return snapObj{}, false
+}
+
+// flattenMap merges the whole chain into one map of live objects,
+// dropping tombstones. Layers are visited newest-first; the first layer
+// to mention an id decides it (live or tombstoned), exactly like get.
+func (l *objLayer) flattenMap() map[oid.OID]snapObj {
+	m := make(map[oid.OID]snapObj)
+	seen := make(map[oid.OID]bool)
+	for c := l; c != nil; c = c.parent {
+		for id, so := range c.m {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if so.tv != nil {
+				m[id] = so
+			}
+		}
+	}
+	return m
+}
+
+// extentSnap is the scan-order view of one object-set extent: ids and
+// decoded tuples in heap order, exactly the order Store.ScanExtent
+// visits.
+type extentSnap struct {
+	ids []oid.OID
+	tvs []*value.Tuple
+}
+
+// elemSnap is the scan-order view of one ref/value-set extent.
+type elemSnap struct {
+	rids []storage.RID
+	vals []value.Value
+}
+
+// Snapshot is an immutable view of the store at one version. All methods
+// are safe for concurrent use by any number of goroutines with no
+// locking: nothing reachable from a published Snapshot is ever mutated.
+// The read API mirrors Store's so the executor can run a statement
+// against either through one interface.
+type Snapshot struct {
+	version uint64
+	objs    *objLayer
+	extents map[string]*extentSnap
+	elems   map[string]*elemSnap
+	vars    map[string]value.Value
+	indexes map[string]*storage.BTree
+}
+
+// Version returns the store version this snapshot was published at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Get fetches an object by OID as of the snapshot. Missing objects
+// (deleted before the snapshot, or created after it) report ok=false.
+func (sn *Snapshot) Get(id oid.OID) (*value.Tuple, bool, error) {
+	so, ok := sn.objs.get(id)
+	if !ok {
+		return nil, false, nil
+	}
+	return so.tv, true, nil
+}
+
+// Exists reports whether the OID identified a live object at the
+// snapshot's version.
+func (sn *Snapshot) Exists(id oid.OID) bool {
+	_, ok := sn.objs.get(id)
+	return ok
+}
+
+// Deref resolves a reference value against the snapshot.
+func (sn *Snapshot) Deref(v value.Value) (*value.Tuple, bool, error) {
+	r, ok := v.(value.Ref)
+	if !ok || r.OID.IsNil() {
+		return nil, false, nil
+	}
+	return sn.Get(r.OID)
+}
+
+// ScanExtent iterates the extent's objects in the heap order the live
+// store would visit them.
+func (sn *Snapshot) ScanExtent(extent string, fn func(id oid.OID, tv *value.Tuple) error) error {
+	es, ok := sn.extents[extent]
+	if !ok {
+		return fmt.Errorf("no object extent %s", extent)
+	}
+	for i, id := range es.ids {
+		if err := fn(id, es.tvs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanExtentIDs iterates the extent's object identities in scan order.
+func (sn *Snapshot) ScanExtentIDs(extent string, fn func(id oid.OID) error) error {
+	es, ok := sn.extents[extent]
+	if !ok {
+		return fmt.Errorf("no object extent %s", extent)
+	}
+	for _, id := range es.ids {
+		if err := fn(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtentLen returns the number of objects in an object-set extent.
+func (sn *Snapshot) ExtentLen(extent string) (int, error) {
+	es, ok := sn.extents[extent]
+	if !ok {
+		return 0, fmt.Errorf("no object extent %s", extent)
+	}
+	return len(es.ids), nil
+}
+
+// ScanElems iterates a ref-set or value-set extent.
+func (sn *Snapshot) ScanElems(extent string, fn func(rid storage.RID, v value.Value) error) error {
+	es, ok := sn.elems[extent]
+	if !ok {
+		return fmt.Errorf("no element extent %s", extent)
+	}
+	for i, rid := range es.rids {
+		if err := fn(rid, es.vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ElemLen counts the elements of a ref/value-set extent.
+func (sn *Snapshot) ElemLen(extent string) (int, error) {
+	es, ok := sn.elems[extent]
+	if !ok {
+		return 0, fmt.Errorf("no element extent %s", extent)
+	}
+	return len(es.rids), nil
+}
+
+// IsObjectExtent reports whether the name was an object-set extent at
+// the snapshot's version.
+func (sn *Snapshot) IsObjectExtent(name string) bool {
+	_, ok := sn.extents[name]
+	return ok
+}
+
+// IsElemExtent reports whether the name was a ref/value-set extent.
+func (sn *Snapshot) IsElemExtent(name string) bool {
+	_, ok := sn.elems[name]
+	return ok
+}
+
+// GetVar returns the snapshot value of a singleton or array variable.
+func (sn *Snapshot) GetVar(name string) (value.Value, error) {
+	v, ok := sn.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("no database variable %s", name)
+	}
+	return v, nil
+}
+
+// IndexLookup returns the OIDs whose indexed key is in [lo, hi] as of
+// the snapshot. When the index was defined after the snapshot's frozen
+// tree set (only possible in the narrow window between a DDL statement
+// and its commit), the whole extent is returned — callers re-check the
+// predicate, so over-approximation is safe.
+func (sn *Snapshot) IndexLookup(ix *catalog.Index, lo, hi []byte, incLo, incHi bool) []oid.OID {
+	t, ok := sn.indexes[ix.Name]
+	if !ok {
+		es := sn.extents[ix.Extent]
+		if es == nil {
+			return nil
+		}
+		out := make([]oid.OID, len(es.ids))
+		copy(out, es.ids)
+		return out
+	}
+	var out []oid.OID
+	t.Range(lo, hi, incLo, incHi, func(_ []byte, v uint64) bool {
+		out = append(out, oid.OID(v))
+		return true
+	})
+	return out
+}
+
+// ExportObjects returns every object live at the snapshot in the same
+// stable order Store.ExportObjects uses (extent name, then OID), with
+// the original encoded bytes, so a snapshot-backed dump is byte-
+// identical to a quiesced live dump of the same version.
+func (sn *Snapshot) ExportObjects() ([]ExportObject, error) {
+	m := sn.objs.flattenMap()
+	ids := make([]oid.OID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := m[ids[i]], m[ids[j]]
+		if a.extent != b.extent {
+			return a.extent < b.extent
+		}
+		return ids[i] < ids[j]
+	})
+	out := make([]ExportObject, 0, len(ids))
+	for _, id := range ids {
+		so := m[id]
+		out = append(out, ExportObject{Extent: so.extent, OID: id, Owner: so.owner, Data: so.enc})
+	}
+	return out, nil
+}
+
+// ExportElems returns the encoded elements of a ref/value-set extent as
+// of the snapshot.
+func (sn *Snapshot) ExportElems(extent string) ([][]byte, error) {
+	var out [][]byte
+	err := sn.ScanElems(extent, func(_ storage.RID, v value.Value) error {
+		enc, err := encode(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, enc)
+		return nil
+	})
+	return out, err
+}
+
+// ExportVar returns the encoded value of a singleton/array variable as
+// of the snapshot.
+func (sn *Snapshot) ExportVar(name string) ([]byte, error) {
+	v, err := sn.GetVar(name)
+	if err != nil {
+		return nil, err
+	}
+	return encode(v)
+}
+
+// ---------------------------------------------------------------------------
+// Store side: dirty tracking, commit, publication.
+
+// Snapshot returns the latest published snapshot. Never nil: New
+// publishes an empty snapshot at version 0.
+func (s *Store) Snapshot() *Snapshot {
+	return s.snap.Load()
+}
+
+// markObj records that an object changed (or is about to be deleted) so
+// Commit refreshes it and its extent's scan view. Call while the omap
+// entry still exists, so the owning extent is captured.
+func (s *Store) markObj(id oid.OID) {
+	s.dirtyObjs[id] = struct{}{}
+	if info, ok := s.omap[id]; ok && info.extent != "" {
+		s.dirtyExts[info.extent] = struct{}{}
+	}
+}
+
+func (s *Store) markExtent(name string) { s.dirtyExts[name] = struct{}{} }
+func (s *Store) markElems(name string)  { s.dirtyElems[name] = struct{}{} }
+func (s *Store) markVar(name string)    { s.dirtyVars[name] = struct{}{} }
+func (s *Store) markIndexes()           { s.dirtyIdx = true }
+
+// Commit publishes the store's current state as a new immutable
+// snapshot: dirty objects are decoded once, layered over the previous
+// snapshot's object map, dirty extents get fresh scan-order views, and
+// the whole bundle is installed with one atomic store. No-op when
+// nothing changed since the last commit. The caller must hold the write
+// lock (the same exclusion every mutating method requires); readers
+// never block on it — they keep their pinned snapshot.
+//
+// extra:requires db.wmu.W
+// extra:bumps
+func (s *Store) Commit() error {
+	if len(s.dirtyObjs) == 0 && len(s.dirtyExts) == 0 && len(s.dirtyElems) == 0 &&
+		len(s.dirtyVars) == 0 && !s.dirtyIdx {
+		return nil
+	}
+	// Publication is itself a store-state change: bump so snapshot
+	// versions are distinct from the pre-commit working version and
+	// version-keyed caches (deref) never confuse the two.
+	s.bump()
+	prev := s.snap.Load()
+
+	layer := &objLayer{
+		m:      make(map[oid.OID]snapObj, len(s.dirtyObjs)),
+		parent: prev.objs,
+		depth:  prev.objs.depth + 1,
+	}
+	for id := range s.dirtyObjs {
+		info, live := s.omap[id]
+		if !live {
+			layer.m[id] = snapObj{} // tombstone
+			continue
+		}
+		so, err := s.freezeObj(id, info)
+		if err != nil {
+			return err
+		}
+		layer.m[id] = so
+	}
+	if layer.depth >= maxLayerDepth {
+		layer = &objLayer{m: layer.flattenMap()}
+	}
+
+	// Dropped entries disappear by not being carried over: the carry
+	// loops skip dirty names, and the rebuild loops skip names no longer
+	// live in the working state.
+	exts := make(map[string]*extentSnap, len(prev.extents)+len(s.dirtyExts))
+	for k, v := range prev.extents {
+		if _, dirty := s.dirtyExts[k]; !dirty {
+			exts[k] = v
+		}
+	}
+	for name := range s.dirtyExts {
+		if _, live := s.extents[name]; !live {
+			continue
+		}
+		es, err := s.freezeExtent(name, layer)
+		if err != nil {
+			return err
+		}
+		exts[name] = es
+	}
+
+	elems := make(map[string]*elemSnap, len(prev.elems)+len(s.dirtyElems))
+	for k, v := range prev.elems {
+		if _, dirty := s.dirtyElems[k]; !dirty {
+			elems[k] = v
+		}
+	}
+	for name := range s.dirtyElems {
+		if _, live := s.elems[name]; !live {
+			continue
+		}
+		es, err := s.freezeElems(name)
+		if err != nil {
+			return err
+		}
+		elems[name] = es
+	}
+
+	vars := make(map[string]value.Value, len(prev.vars)+len(s.dirtyVars))
+	for k, v := range prev.vars {
+		if _, dirty := s.dirtyVars[k]; !dirty {
+			vars[k] = v
+		}
+	}
+	for name := range s.dirtyVars {
+		if _, live := s.varRID[name]; !live {
+			continue
+		}
+		v, err := s.GetVar(name)
+		if err != nil {
+			return err
+		}
+		vars[name] = v
+	}
+
+	// Index trees are immutable once published (treeWrite clones before
+	// the first post-publication mutation), so the snapshot just captures
+	// the current tree pointers. Rebuilt from the catalog every commit so
+	// dropped indexes disappear without their own dirty tracking.
+	indexes := make(map[string]*storage.BTree)
+	for _, name := range s.cat.IndexNames() {
+		if ix, ok := s.cat.Index(name); ok {
+			indexes[name] = ix.Tree
+		}
+	}
+
+	s.snap.Store(&Snapshot{
+		version: s.version.Load(),
+		objs:    layer,
+		extents: exts,
+		elems:   elems,
+		vars:    vars,
+		indexes: indexes,
+	})
+	clear(s.dirtyObjs)
+	clear(s.dirtyExts)
+	clear(s.dirtyElems)
+	clear(s.dirtyVars)
+	s.dirtyIdx = false
+	return nil
+}
+
+// freezeObj decodes one live object into its frozen snapshot form. The
+// heap returns a fresh copy of the record bytes, so both enc and the
+// decoded tuple are safe to share with every future reader.
+func (s *Store) freezeObj(id oid.OID, info *objInfo) (snapObj, error) {
+	rec, err := s.heapFor(info).Get(info.rid)
+	if err != nil {
+		return snapObj{}, err
+	}
+	v, err := codec.DecodeOne(rec, s.cat)
+	if err != nil {
+		return snapObj{}, err
+	}
+	tv, ok := v.(*value.Tuple)
+	if !ok {
+		return snapObj{}, fmt.Errorf("object %s is not a tuple", id)
+	}
+	return snapObj{extent: info.extent, typ: info.typ, owner: info.owner, tv: tv, enc: rec}, nil
+}
+
+// freezeExtent builds one extent's frozen scan view over the given
+// object layer, freezing any member the layer does not yet hold (an
+// object mutated without markObj — defensive, should not happen).
+func (s *Store) freezeExtent(name string, layer *objLayer) (*extentSnap, error) {
+	es := &extentSnap{}
+	err := s.ScanExtentIDs(name, func(id oid.OID) error {
+		so, ok := layer.get(id)
+		if !ok {
+			info := s.omap[id]
+			fso, ferr := s.freezeObj(id, info)
+			if ferr != nil {
+				return ferr
+			}
+			layer.m[id] = fso
+			so = fso
+		}
+		es.ids = append(es.ids, id)
+		es.tvs = append(es.tvs, so.tv)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return es, nil
+}
+
+// freezeElems builds one element-set extent's frozen scan view.
+func (s *Store) freezeElems(name string) (*elemSnap, error) {
+	es := &elemSnap{}
+	err := s.ScanElems(name, func(rid storage.RID, v value.Value) error {
+		es.rids = append(es.rids, rid)
+		es.vals = append(es.vals, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return es, nil
+}

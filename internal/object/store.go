@@ -39,12 +39,13 @@ type objInfo struct {
 }
 
 // Store is the object store. Its concurrency contract matches the
-// database layer's readers-writer statement lock: read methods (Get,
-// TypeOf, Owner, Exists, Scan*, ExtentLen, GetVar, Deref, IndexLookup,
-// Version) are safe to call from any number of goroutines as long as no
-// mutating method runs concurrently; mutating methods require exclusive
-// access. The database layer enforces this by classifying statements
-// and taking the corresponding side of its RWMutex.
+// database layer's MVCC split: mutating methods (and the direct read
+// methods, which see the uncommitted working state) require the
+// database's exclusive write lock; concurrent readers never touch the
+// working state at all — they pin the immutable Snapshot published by
+// the last Commit and read that without any locking. The database
+// layer enforces this by classifying statements: writes serialize on
+// db.wmu and call Commit when done, reads call Snapshot.
 type Store struct {
 	pool    *storage.BufferPool
 	cat     *catalog.Catalog
@@ -62,9 +63,21 @@ type Store struct {
 	// element writes, restores). Caches keyed on object state — the
 	// executor's deref memoization — compare it to detect staleness, so
 	// every mutating method must call bump. Atomic so concurrent readers
-	// can validate their statement-local caches while a writer waits on
-	// the statement lock.
+	// can validate their statement-local caches while a writer is
+	// mid-statement.
 	version atomic.Uint64
+
+	// snap is the latest published immutable snapshot; readers load it
+	// once per statement and never look at the maps above. The dirty
+	// sets record what changed since the last Commit so publication
+	// refreshes only touched state. They are guarded by the same write
+	// lock as the maps; snap itself is atomic.
+	snap       atomic.Pointer[Snapshot]
+	dirtyObjs  map[oid.OID]struct{}
+	dirtyExts  map[string]struct{}
+	dirtyElems map[string]struct{}
+	dirtyVars  map[string]struct{}
+	dirtyIdx   bool
 }
 
 // Version returns the store's mutation counter. Any change to stored
@@ -77,19 +90,33 @@ func (s *Store) bump() { s.version.Add(1) }
 // New creates an object store over the pool, resolving types through the
 // catalog.
 func New(pool *storage.BufferPool, cat *catalog.Catalog) *Store {
-	return &Store{
-		pool:    pool,
-		cat:     cat,
-		gen:     &oid.Generator{},
-		extents: make(map[string]*storage.HeapFile),
-		elems:   make(map[string]*storage.HeapFile),
-		nursery: storage.NewHeapFile(pool),
-		vars:    storage.NewHeapFile(pool),
-		varRID:  make(map[string]storage.RID),
-		varOID:  make(map[string]oid.OID),
-		omap:    make(map[oid.OID]*objInfo),
-		rids:    make(map[string]map[storage.RID]oid.OID),
+	s := &Store{
+		pool:       pool,
+		cat:        cat,
+		gen:        &oid.Generator{},
+		extents:    make(map[string]*storage.HeapFile),
+		elems:      make(map[string]*storage.HeapFile),
+		nursery:    storage.NewHeapFile(pool),
+		vars:       storage.NewHeapFile(pool),
+		varRID:     make(map[string]storage.RID),
+		varOID:     make(map[string]oid.OID),
+		omap:       make(map[oid.OID]*objInfo),
+		rids:       make(map[string]map[storage.RID]oid.OID),
+		dirtyObjs:  make(map[oid.OID]struct{}),
+		dirtyExts:  make(map[string]struct{}),
+		dirtyElems: make(map[string]struct{}),
+		dirtyVars:  make(map[string]struct{}),
 	}
+	// Publish the empty snapshot so readers of a fresh database have a
+	// valid (empty) view before the first commit.
+	s.snap.Store(&Snapshot{
+		objs:    &objLayer{m: map[oid.OID]snapObj{}},
+		extents: map[string]*extentSnap{},
+		elems:   map[string]*elemSnap{},
+		vars:    map[string]value.Value{},
+		indexes: map[string]*storage.BTree{},
+	})
+	return s
 }
 
 // Pool returns the underlying buffer pool (for stats and benchmarks).
@@ -100,15 +127,17 @@ func (s *Store) Pool() *storage.BufferPool { return s.pool }
 // singletons and arrays get a slot in the variable heap initialized to
 // null (or an array of nulls for fixed arrays).
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) InitVar(v *catalog.Variable) error {
 	s.bump()
 	switch {
 	case v.IsObjectSet():
 		s.extents[v.Name] = storage.NewHeapFile(s.pool)
 		s.rids[v.Name] = make(map[storage.RID]oid.OID)
+		s.markExtent(v.Name)
 	case v.IsRefSet() || v.IsValueSet():
 		s.elems[v.Name] = storage.NewHeapFile(s.pool)
+		s.markElems(v.Name)
 	default:
 		var init value.Value = value.Null{}
 		if at, ok := v.Comp.Type.(*types.Array); ok && at.Fixed {
@@ -128,13 +157,14 @@ func (s *Store) InitVar(v *catalog.Variable) error {
 		}
 		s.varRID[v.Name] = rid
 		s.varOID[v.Name] = s.gen.Next()
+		s.markVar(v.Name)
 	}
 	return nil
 }
 
 // DropVar destroys a database variable and everything it owns.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) DropVar(v *catalog.Variable) error {
 	s.bump()
 	switch {
@@ -143,6 +173,7 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 		if h == nil {
 			return nil
 		}
+		s.markExtent(v.Name)
 		var ids []oid.OID
 		for id, info := range s.omap {
 			if info.extent == v.Name {
@@ -162,6 +193,7 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 		if h == nil {
 			return nil
 		}
+		s.markElems(v.Name)
 		delete(s.elems, v.Name)
 		return h.DropAll()
 	default:
@@ -169,6 +201,7 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 		if !ok {
 			return nil
 		}
+		s.markVar(v.Name)
 		old, err := s.readVar(v, rid)
 		if err != nil {
 			return err
@@ -191,7 +224,7 @@ func (s *Store) DropVar(v *catalog.Variable) error {
 // claimed (failing if already owned elsewhere). The tuple value passed in
 // is not retained.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) Insert(extent string, tv *value.Tuple) (oid.OID, error) {
 	s.bump()
 	h, ok := s.extents[extent]
@@ -217,6 +250,7 @@ func (s *Store) Insert(extent string, tv *value.Tuple) (oid.OID, error) {
 	}
 	s.omap[id] = &objInfo{extent: extent, rid: rid, typ: tv.Type}
 	s.rids[extent][rid] = id
+	s.markObj(id)
 	s.indexInsert(extent, id, iv.(*value.Tuple))
 	return id, nil
 }
@@ -278,13 +312,14 @@ func (s *Store) heapFor(info *objInfo) *storage.HeapFile {
 // own-ref component it owns (recursively), and removes its index
 // entries. References elsewhere are left dangling and read as null.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) Delete(id oid.OID) error {
 	s.bump()
 	info, ok := s.omap[id]
 	if !ok {
 		return fmt.Errorf("delete of missing object %s", id)
 	}
+	s.markObj(id) // while the omap entry still names the extent
 	tv, ok, err := s.Get(id)
 	if err != nil {
 		return err
@@ -309,13 +344,14 @@ func (s *Store) Delete(id oid.OID) error {
 // Update rewrites an object's stored value. Own-ref components removed by
 // the update are destroyed; components added are created or claimed.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) Update(id oid.OID, tv *value.Tuple) error {
 	s.bump()
 	info, ok := s.omap[id]
 	if !ok {
 		return fmt.Errorf("update of missing object %s", id)
 	}
+	s.markObj(id)
 	old, ok, err := s.Get(id)
 	if err != nil {
 		return err

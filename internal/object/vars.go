@@ -40,9 +40,10 @@ func (s *Store) GetVar(name string) (value.Value, error) {
 // SetVar replaces the value of a singleton or array variable, destroying
 // own-ref components the old value owned and internalizing the new one.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) SetVar(name string, nv value.Value) error {
 	s.bump()
+	s.markVar(name)
 	v, ok := s.cat.Var(name)
 	if !ok {
 		return fmt.Errorf("no database variable %s", name)
@@ -87,9 +88,10 @@ func (s *Store) SetVar(name string, nv value.Value) error {
 
 // InsertElem appends a value to a ref-set or value-set extent.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) InsertElem(extent string, v value.Value) error {
 	s.bump()
+	s.markElems(extent)
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("no element extent %s", extent)
@@ -119,9 +121,10 @@ func (s *Store) ScanElems(extent string, fn func(rid storage.RID, v value.Value)
 
 // DeleteElem removes one element record from a ref/value-set extent.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Store) DeleteElem(extent string, rid storage.RID) error {
 	s.bump()
+	s.markElems(extent)
 	h, ok := s.elems[extent]
 	if !ok {
 		return fmt.Errorf("no element extent %s", extent)

@@ -240,6 +240,41 @@ func (t *BTree) Range(lo, hi []byte, incLo, incHi bool, fn func(key []byte, val 
 	}
 }
 
+// Clone returns a structurally independent copy of the tree: node and
+// entry slices are copied so mutations of either tree never touch the
+// other, while the key byte slices are shared (Insert copies keys on
+// entry and no operation mutates key bytes in place, so sharing them is
+// safe). Used by the store's copy-on-write index publication: a tree
+// frozen into a snapshot is cloned before the next write touches it.
+func (t *BTree) Clone() *BTree {
+	nt := &BTree{height: t.height, size: t.size}
+	var lastLeaf *leaf
+	var walk func(n node) node
+	walk = func(n node) node {
+		switch nd := n.(type) {
+		case *leaf:
+			nl := &leaf{entries: append([]entry(nil), nd.entries...)}
+			if lastLeaf != nil {
+				lastLeaf.next = nl
+			}
+			lastLeaf = nl
+			return nl
+		case *inner:
+			ni := &inner{
+				keys:     append([]entry(nil), nd.keys...),
+				children: make([]node, len(nd.children)),
+			}
+			for i, c := range nd.children {
+				ni.children[i] = walk(c)
+			}
+			return ni
+		}
+		panic("unreachable")
+	}
+	nt.root = walk(t.root)
+	return nt
+}
+
 // Lookup calls fn for every value stored under exactly key.
 func (t *BTree) Lookup(key []byte, fn func(val uint64) bool) {
 	t.Range(key, key, true, true, func(_ []byte, v uint64) bool { return fn(v) })

@@ -129,8 +129,6 @@ func (st *Stmt) Close() error {
 // type. It returns the retrieve's result set (nil for other statement
 // kinds).
 func (st *Stmt) Exec(args ...any) (*Result, error) {
-	s := st.sess
-	db := s.db
 	start := time.Now()
 	st.mu.Lock()
 	closed := st.closed
@@ -146,36 +144,100 @@ func (st *Stmt) Exec(args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	unlock := db.lockStatements(sema.ReadOnly(st.st))
-	defer unlock()
-	if db.closed {
-		return nil, errDBClosed
-	}
 	kind := sema.KindOf(st.st)
+	if r, ok := st.st.(*ast.Retrieve); ok && sema.ReadOnly(st.st) {
+		return st.snapshotExec(r, scope, kind, start)
+	}
+	return st.writeExec(scope, kind, start)
+}
+
+// snapshotExec is the prepared-retrieve read path: pin a snapshot,
+// revalidate the pinned compilation and authorize inside the pin window
+// (so the plan, the catalog version and the snapshot agree), then
+// execute lock-free against the snapshot. On the steady state nothing
+// is parsed, checked or planned.
+//
+// extra:acquires db.mu.R
+func (st *Stmt) snapshotExec(r *ast.Retrieve, scope *paramScope, kind string, start time.Time) (*Result, error) {
+	s := st.sess
+	db := s.db
 	var tr trace.StmtTrace
 	tr.Begin(db.tracer, start)
+	db.metrics.Counter("stmt." + kind).Inc()
+	if !db.beginPin() {
+		return nil, errDBClosed
+	}
+	user := s.user
 	es := db.exec.NewState()
-	defer es.Release()
 	es.SetTrace(tr.Active())
+	es.BindSnapshot(db.store.Snapshot())
+	cq, plan, err := st.compiledFor(es, r, scope, &tr)
+	if err == nil {
+		err = s.authQuery(cq.Query, nil, targetExprs(cq)...)
+	}
+	if err == nil {
+		pt := tr.StartPhase(trace.PhaseCompile)
+		es.CompilePlan(cq, plan)
+		tr.EndPhase(pt)
+	}
+	db.mu.RUnlock()
+	defer es.Release()
 	var res *Result
-	runErr := s.labeled(kind, func() error {
-		var err error
-		if r, ok := st.st.(*ast.Retrieve); ok && r.Into == "" {
-			res, err = st.execRetrieve(es, r, scope, &tr)
-		} else {
-			res, err = s.runStmt(es, st.st, scope, &tr)
-		}
-		return err
-	})
+	runErr := err
+	if runErr == nil {
+		runErr = s.labeled(kind, func() error {
+			var err error
+			res, err = s.execPinnedPlan(es, cq, plan, scope, &tr)
+			return err
+		})
+	}
 	if runErr != nil {
 		db.cErrors.Inc()
-		db.abortTrace(s, st.src, kind, &tr, start, runErr)
+		db.abortTrace(s.id, user, st.src, kind, &tr, start, runErr)
 		return nil, runErr
 	}
 	if res != nil {
 		tr.Rows = len(res.Rows)
 	}
-	db.finishTrace(s, st.src, kind, &tr, start)
+	db.finishTrace(s.id, user, st.src, kind, &tr, start)
+	return res, nil
+}
+
+// writeExec is the prepared write path: the statement serializes on the
+// write lock exactly like an unprepared write batch and runs through
+// runWriteStmt, which publishes the snapshot its mutations produce.
+//
+// extra:acquires db.wmu.W
+func (st *Stmt) writeExec(scope *paramScope, kind string, start time.Time) (*Result, error) {
+	s := st.sess
+	db := s.db
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.closed {
+		return nil, errDBClosed
+	}
+	user := s.user
+	var tr trace.StmtTrace
+	tr.Begin(db.tracer, start)
+	es := db.exec.NewState()
+	defer es.Release()
+	es.BindLive()
+	es.SetTrace(tr.Active())
+	var res *Result
+	runErr := s.labeled(kind, func() error {
+		var err error
+		res, err = s.runWriteStmt(es, st.st, scope, &tr)
+		return err
+	})
+	if runErr != nil {
+		db.cErrors.Inc()
+		db.abortTrace(s.id, user, st.src, kind, &tr, start, runErr)
+		return nil, runErr
+	}
+	if res != nil {
+		tr.Rows = len(res.Rows)
+	}
+	db.finishTrace(s.id, user, st.src, kind, &tr, start)
 	return res, nil
 }
 
@@ -188,50 +250,18 @@ func (st *Stmt) MustExec(args ...any) *Result {
 	return r
 }
 
-// execRetrieve is the prepared retrieve hot path: revalidate the pinned
-// plan, authorize (every execution — privileges change without DDL),
-// warm the expression closures and run. On the steady state nothing is
-// parsed, checked or planned.
+// compiledFor returns the pinned checked tree and plan, re-preparing
+// when the catalog version, the session's range declarations or the
+// optimizer options moved since they were built. The caller holds the
+// shared statement lock for its whole pin window, so the fingerprints
+// read here cannot move between the read and the execution that relies
+// on them: concurrent DDL publishes catalog + snapshot under the
+// exclusive side and either lands entirely before this window (the
+// fingerprint check sees it and re-prepares) or entirely after it. Two
+// executions may re-prepare concurrently; the later publication simply
+// replaces the earlier, both being correct for the current version.
 //
 // extra:requires db.mu.R
-func (st *Stmt) execRetrieve(es *exec.State, r *ast.Retrieve, scope *paramScope, tr *trace.StmtTrace) (*Result, error) {
-	s := st.sess
-	db := s.db
-	db.metrics.Counter("stmt." + sema.KindOf(r)).Inc()
-	cq, plan, err := st.compiledFor(es, r, scope, tr)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
-		return nil, err
-	}
-	pt := tr.StartPhase(trace.PhaseCompile)
-	es.CompilePlan(cq, plan)
-	tr.EndPhase(pt)
-	var rt *algebra.PlanRuntime
-	var poolBase PoolStats
-	if tr.Sampled() {
-		plan = plan.Clone()
-		rt = plan.EnableRuntime()
-		poolBase = db.pool.Stats()
-	}
-	pt = tr.StartPhase(trace.PhaseExecute)
-	res, err := withParams(es, scope, func() (*Result, error) {
-		return es.RetrievePlan(cq, plan)
-	})
-	if rt != nil {
-		s.addRetrieveSpans(tr, pt, plan, rt, poolBase)
-	}
-	tr.EndPhase(pt)
-	return res, err
-}
-
-// compiledFor returns the pinned checked tree and plan, re-preparing
-// when the catalog version or the session's range declarations moved
-// since they were built. Two executions may re-prepare concurrently; the
-// later publication simply replaces the earlier, both being correct for
-// the current version.
-//
 // extra:acquires stmt.mu.W
 func (st *Stmt) compiledFor(es *exec.State, r *ast.Retrieve, scope *paramScope, tr *trace.StmtTrace) (*sema.CheckedRetrieve, *algebra.Plan, error) {
 	db := st.sess.db

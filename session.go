@@ -23,13 +23,14 @@ import (
 // attribution. Sessions are cheap; a server would create one per
 // connection. Statements from different sessions run concurrently when
 // they are read-only (retrieve without into) — the DB classifies each
-// statement through the sema layer and takes the shared or exclusive
-// side of the statement lock accordingly.
+// statement through the sema layer: reads pin an immutable store
+// snapshot and execute against it without holding any lock, writes
+// serialize on the DB's write lock.
 //
 // A single Session may also be used from multiple goroutines for
 // read-only statements; statements that mutate session state (range
-// declarations, set user, procedure execution) are serialized by the
-// DB's exclusive lock.
+// declarations, set user, procedure execution) are write-classified and
+// serialized by the write lock.
 type Session struct {
 	db   *DB
 	id   int64
@@ -54,10 +55,15 @@ func (db *DB) NewSession() *Session {
 func (s *Session) ID() int64 { return s.id }
 
 // SetUser switches the session's current user; subsequent statements run
-// with that user's privileges.
+// with that user's privileges. It takes both engine locks: write batches
+// read s.user under the write lock, read statements under the shared
+// statement lock during their pin window.
 //
+// extra:acquires db.wmu.W
 // extra:acquires db.mu.W
 func (s *Session) SetUser(name string) error {
+	s.db.wmu.Lock()
+	defer s.db.wmu.Unlock()
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	if !s.db.auth.UserExists(name) {
@@ -76,24 +82,8 @@ func (s *Session) CurrentUser() string {
 	return s.user
 }
 
-// lockStatements takes the appropriate side of the statement lock for a
-// batch that is (or is not) entirely read-only, returning the matching
-// unlock. The annotation records the shared mode — the weakest guarantee
-// a caller may assume; write batches hold the exclusive side at run
-// time, which runStmt's dispatch annotation models per statement arm.
-//
-// extra:holds db.mu.R
-func (db *DB) lockStatements(readOnly bool) func() {
-	if readOnly {
-		db.mu.RLock()
-		return db.mu.RUnlock
-	}
-	db.mu.Lock()
-	return db.mu.Unlock
-}
-
-// allReadOnly reports whether every statement of a batch can run under
-// the shared lock.
+// allReadOnly reports whether every statement of a batch can run on the
+// snapshot read path.
 func allReadOnly(stmts []ast.Statement) bool {
 	for _, st := range stmts {
 		if !sema.ReadOnly(st) {
@@ -103,11 +93,28 @@ func allReadOnly(stmts []ast.Statement) bool {
 	return true
 }
 
+// ddlStatement reports whether a write-classified statement mutates
+// catalog or session-visible metadata (types, variables, indexes,
+// functions, procedures, ranges, privileges, identity) rather than data
+// alone. DDL runs inside the exclusive statement lock so the catalog
+// and the published snapshot move together — a reader pinning a
+// snapshot mid-DDL would otherwise plan against a catalog its snapshot
+// has never heard of. Pure DML (append, delete, replace, set) needs
+// only the write lock; readers stay unblocked while it runs.
+func ddlStatement(st ast.Statement) bool {
+	switch st.(type) {
+	case *ast.Append, *ast.Delete, *ast.Replace, *ast.SetStmt:
+		return false
+	}
+	return true
+}
+
 // Exec parses and runs one or more EXCESS statements, returning the
-// result of the last retrieve (nil if none). Parsing happens before the
-// statement lock is taken (it only reads the ADT registry, which has
-// its own lock), so a retrieve-only batch holds the shared lock and
-// runs concurrently with other readers.
+// result of the last retrieve (nil if none). Parsing happens before any
+// lock is taken (it only reads the ADT registry, which has its own
+// lock). An all-read-only batch takes the MVCC snapshot path and runs
+// concurrently with writers; a batch with any write statement
+// serializes on the write lock.
 func (s *Session) Exec(src string) (*Result, error) {
 	db := s.db
 	start := time.Now()
@@ -117,25 +124,40 @@ func (s *Session) Exec(src string) (*Result, error) {
 		db.cErrors.Inc()
 		return nil, err
 	}
-	unlock := db.lockStatements(allReadOnly(stmts))
-	defer unlock()
-	if db.closed {
-		return nil, errDBClosed
-	}
 	kind := "batch"
 	if len(stmts) == 1 {
 		kind = sema.KindOf(stmts[0])
 	}
+	if allReadOnly(stmts) {
+		return s.execSnapshot(stmts, src, kind, start, parseDur)
+	}
+	return s.execWrite(stmts, src, kind, start, parseDur)
+}
+
+// execSnapshot runs an all-read-only batch under MVCC: each statement
+// pins the store's latest published snapshot during a short shared-lock
+// window and then executes lock-free against it (runReadStmt), so a
+// reader never waits behind a bulk update and holds nothing a writer
+// waits on during execution.
+//
+// extra:acquires db.mu.R
+func (s *Session) execSnapshot(stmts []ast.Statement, src, kind string, start time.Time, parseDur time.Duration) (*Result, error) {
+	db := s.db
+	if !db.beginPin() {
+		return nil, errDBClosed
+	}
+	user := s.user
+	es := db.exec.NewState()
+	db.mu.RUnlock()
+	defer es.Release()
 	var tr trace.StmtTrace
 	tr.Begin(db.tracer, start)
 	tr.RecordPhase(trace.PhaseParse, start, parseDur)
-	es := db.exec.NewState()
-	defer es.Release()
 	es.SetTrace(tr.Active())
 	var last *Result
 	runErr := s.labeled(kind, func() error {
 		for _, st := range stmts {
-			r, err := s.runStmt(es, st, nil, &tr)
+			r, err := s.runReadStmt(es, st, nil, &tr)
 			if err != nil {
 				return err
 			}
@@ -147,14 +169,198 @@ func (s *Session) Exec(src string) (*Result, error) {
 	})
 	if runErr != nil {
 		db.cErrors.Inc()
-		db.abortTrace(s, src, kind, &tr, start, runErr)
+		db.abortTrace(s.id, user, src, kind, &tr, start, runErr)
 		return nil, runErr
 	}
 	if last != nil {
 		tr.Rows = len(last.Rows)
 	}
-	db.finishTrace(s, src, kind, &tr, start)
+	db.finishTrace(s.id, user, src, kind, &tr, start)
 	return last, nil
+}
+
+// execWrite runs a batch containing at least one write statement. The
+// whole batch holds the write lock; each statement mutates the live
+// store and publishes a fresh snapshot when it completes (runWriteStmt),
+// so concurrent snapshot readers observe the batch statement by
+// statement and never a torn statement.
+//
+// extra:acquires db.wmu.W
+func (s *Session) execWrite(stmts []ast.Statement, src, kind string, start time.Time, parseDur time.Duration) (*Result, error) {
+	db := s.db
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	// closed is written under both locks (Close takes wmu first), so
+	// reading it under wmu alone is race-free.
+	if db.closed {
+		return nil, errDBClosed
+	}
+	user := s.user
+	es := db.exec.NewState()
+	defer es.Release()
+	es.BindLive()
+	var tr trace.StmtTrace
+	tr.Begin(db.tracer, start)
+	tr.RecordPhase(trace.PhaseParse, start, parseDur)
+	es.SetTrace(tr.Active())
+	var last *Result
+	runErr := s.labeled(kind, func() error {
+		for _, st := range stmts {
+			r, err := s.runWriteStmt(es, st, nil, &tr)
+			if err != nil {
+				return err
+			}
+			if r != nil {
+				last = r
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		db.cErrors.Inc()
+		db.abortTrace(s.id, user, src, kind, &tr, start, runErr)
+		return nil, runErr
+	}
+	if last != nil {
+		tr.Rows = len(last.Rows)
+	}
+	db.finishTrace(s.id, user, src, kind, &tr, start)
+	return last, nil
+}
+
+// runWriteStmt runs one statement of a write batch and publishes the
+// resulting store snapshot. Publication happens even when the statement
+// errors: the engine has no rollback, so whatever the statement wrote
+// before failing is live state and must become visible to snapshot
+// readers exactly as it is to the next write statement. DDL-classified
+// statements hold the exclusive statement lock across run + publish so
+// no reader pins a snapshot in the gap where the catalog has moved but
+// the snapshot has not.
+//
+// extra:requires db.wmu.W
+// extra:acquires db.mu.W
+func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
+	db := s.db
+	if ddlStatement(st) {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	r, err := s.runStmt(es, st, params, tr)
+	if cerr := db.store.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return r, err
+}
+
+// runReadStmt runs one read-only statement (a retrieve without an into
+// clause — the only read-classified kind) against a pinned snapshot.
+// The shared statement lock is held only for the pin window: snapshot
+// pin, plan-cache lookup, check, authorization, planning and closure
+// compilation — everything that must agree with the catalog version the
+// snapshot was published under. Execution happens after the window,
+// entirely against the immutable snapshot.
+//
+// extra:acquires db.mu.R
+func (s *Session) runReadStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
+	db := s.db
+	r, ok := st.(*ast.Retrieve)
+	if !ok {
+		return nil, fmt.Errorf("unhandled read statement %T", st)
+	}
+	db.metrics.Counter("stmt." + sema.KindOf(st)).Inc()
+	if !db.beginPin() {
+		return nil, errDBClosed
+	}
+	es.BindSnapshot(db.store.Snapshot())
+	cq, plan, err := s.planRetrieve(es, r, params, tr)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.execPinnedPlan(es, cq, plan, params, tr)
+}
+
+// execPinnedPlan runs a compiled retrieve against the State's pinned
+// snapshot after the pin window has closed: no engine lock is held, so
+// however long the scan runs, writers proceed. Sampled statements run
+// instrumented, exactly like EXPLAIN ANALYZE, and record the pinned
+// snapshot version on the statement span; EnableRuntime mutates the
+// plan, and cached plans are shared by concurrent statements, so the
+// instrumented run uses a private clone.
+func (s *Session) execPinnedPlan(es *exec.State, cq *sema.CheckedRetrieve, plan *algebra.Plan, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
+	db := s.db
+	var rt *algebra.PlanRuntime
+	var poolBase PoolStats
+	if tr.Sampled() {
+		tr.Active().AttrInt(0, "snapshot.version", int64(es.SnapshotVersion()))
+		plan = plan.Clone()
+		rt = plan.EnableRuntime()
+		poolBase = db.pool.Stats()
+	}
+	pt := tr.StartPhase(trace.PhaseExecute)
+	res, err := withParams(es, params, func() (*Result, error) {
+		return es.RetrievePlan(cq, plan)
+	})
+	if rt != nil {
+		s.addRetrieveSpans(tr, pt, plan, rt, poolBase)
+	}
+	tr.EndPhase(pt)
+	return res, err
+}
+
+// planRetrieve resolves the checked tree and plan for a snapshot-bound
+// retrieve inside the caller's pin window, so the plan-cache key, the
+// checked catalog state and the pinned snapshot all agree on one
+// catalog version. Cache hits skip check and plan entirely;
+// authorization still runs on every execution — privileges change
+// without bumping the catalog.
+//
+// extra:requires db.mu.R
+func (s *Session) planRetrieve(es *exec.State, st *ast.Retrieve, params *paramScope, tr *trace.StmtTrace) (*sema.CheckedRetrieve, *algebra.Plan, error) {
+	db := s.db
+	var key planKey
+	var cq *sema.CheckedRetrieve
+	var plan *algebra.Plan
+	useCache := cacheable(st, params)
+	if useCache {
+		key = planKey{
+			text:   ast.Print(st),
+			catVer: db.cat.Version(),
+			optsFP: db.exec.Options().Fingerprint(),
+			ranges: rangesFingerprint(s.sem),
+		}
+		if e := db.plans.get(key); e != nil {
+			cq, plan = e.cq, e.plan
+		}
+	}
+	if cq == nil {
+		ck := s.checker(params)
+		pt := tr.StartPhase(trace.PhaseCheck)
+		checked, err := ck.CheckRetrieve(st)
+		tr.EndPhase(pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		cq = checked
+	}
+	if err := s.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
+		return nil, nil, err
+	}
+	if plan == nil {
+		pt := tr.StartPhase(trace.PhasePlan)
+		plan = es.Plan(cq.Query)
+		tr.EndPhase(pt)
+		if useCache {
+			db.plans.put(key, cq, plan)
+		}
+	}
+	// Warm the expression-closure memo for the plan's predicates and
+	// targets. On a repeated statement every lookup hits the memo, so
+	// this phase collapses to map reads.
+	pt := tr.StartPhase(trace.PhaseCompile)
+	es.CompilePlan(cq, plan)
+	tr.EndPhase(pt)
+	return cq, plan, nil
 }
 
 // labeled runs fn, attaching runtime/pprof labels (session, stmt_kind)
@@ -174,7 +380,9 @@ func (s *Session) labeled(kind string, fn func() error) error {
 
 // Query is Exec for a single retrieve; it errors when the source is not
 // exactly one retrieve statement. A retrieve without an into clause
-// runs under the shared lock, concurrently with other readers.
+// runs on the snapshot path, concurrently with writers and other
+// readers; a retrieve into materializes a new variable and takes the
+// write path.
 func (s *Session) Query(src string) (*Result, error) {
 	db := s.db
 	start := time.Now()
@@ -189,33 +397,10 @@ func (s *Session) Query(src string) (*Result, error) {
 		db.cErrors.Inc()
 		return nil, fmt.Errorf("query: %w (use Exec for updates and DDL)", ErrNotRetrieve)
 	}
-	unlock := db.lockStatements(sema.ReadOnly(st))
-	defer unlock()
-	if db.closed {
-		return nil, errDBClosed
+	if sema.ReadOnly(st) {
+		return s.execSnapshot([]ast.Statement{r}, src, "retrieve", start, parseDur)
 	}
-	var tr trace.StmtTrace
-	tr.Begin(db.tracer, start)
-	tr.RecordPhase(trace.PhaseParse, start, parseDur)
-	es := db.exec.NewState()
-	defer es.Release()
-	es.SetTrace(tr.Active())
-	var res *Result
-	runErr := s.labeled("retrieve", func() error {
-		var err error
-		res, err = s.runStmt(es, r, nil, &tr)
-		return err
-	})
-	if runErr != nil {
-		db.cErrors.Inc()
-		db.abortTrace(s, src, "retrieve", &tr, start, runErr)
-		return nil, runErr
-	}
-	if res != nil {
-		tr.Rows = len(res.Rows)
-	}
-	db.finishTrace(s, src, "retrieve", &tr, start)
-	return res, nil
+	return s.execWrite([]ast.Statement{r}, src, "retrieve", start, parseDur)
 }
 
 // MustExec runs statements and panics on error; for examples and tests.
@@ -236,17 +421,21 @@ func (s *Session) MustQuery(src string) *Result {
 	return r
 }
 
-// runStmt dispatches one statement through the session's per-statement
-// execution state. params provides the parameter scope when executing
-// procedure bodies; tr (optional) accumulates phase durations for the
-// statement-level trace. Callers hold the statement lock on the side
-// sema.ReadOnly prescribes for st: at least shared always, and exclusive
-// inside every arm whose statement kind is write-classified — that is
-// what the dispatch annotation below tells the lock checker, which in
-// turn cross-checks the arms against lint.StmtClass.
+// runStmt dispatches one statement of a write batch (or a procedure
+// body) through the session's per-statement execution state, reading
+// and mutating the live store. params provides the parameter scope when
+// executing procedure bodies; tr (optional) accumulates phase durations
+// for the statement-level trace. Callers hold the write lock for the
+// whole call; the dispatch annotation keeps the lock checker
+// cross-checking the arms against lint.StmtClass so a new statement
+// kind cannot be dispatched without being classified. Read-only
+// retrieves never arrive here from Exec/Query (they take runReadStmt's
+// snapshot path); the Retrieve arm serves mixed batches, retrieve-into
+// and procedure bodies, all of which must see the batch's own earlier
+// uncommitted writes.
 //
-// extra:requires db.mu.R
-// extra:dispatch db.mu sema.ReadOnly
+// extra:requires db.wmu.W
+// extra:dispatch db.wmu sema.ReadOnly
 func (s *Session) runStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
 	db := s.db
 	db.metrics.Counter("stmt." + sema.KindOf(st)).Inc()
@@ -480,7 +669,7 @@ func withParamsN(es *exec.State, params *paramScope, fn func() (int, error)) (in
 // runExecute evaluates a procedure invocation: the body runs once per
 // binding of the from/where clause with arguments as parameters.
 //
-// extra:requires db.mu.W
+// extra:requires db.wmu.W
 func (s *Session) runExecute(es *exec.State, stmt *ast.Execute, params *paramScope) error {
 	ck := s.checker(params)
 	ce, err := ck.CheckExecute(stmt)
@@ -498,8 +687,9 @@ func (s *Session) runExecute(es *exec.State, stmt *ast.Execute, params *paramSco
 	// procedure can encapsulate updates its caller could not perform
 	// directly (the IDM stored-command pattern the paper builds data
 	// abstraction from). The swap is safe because execute statements are
-	// write-classified: the exclusive statement lock is held, so no
-	// concurrent reader observes the temporary identity.
+	// DDL-classified: runWriteStmt holds the exclusive statement lock in
+	// addition to the write lock, so no concurrent reader's pin window
+	// observes the temporary identity.
 	caller := s.user
 	if ce.Proc.Owner != "" {
 		s.user = ce.Proc.Owner

@@ -58,10 +58,12 @@ func (db *DB) Traces() []*Trace { return db.tracer.Traces() }
 // threshold, and the sealed span tree into the tracer's ring when the
 // statement was sampled. The histograms are atomic; only the slow-query
 // ring needs its lock, so concurrent readers finishing simultaneously
-// contend only on that.
+// contend only on that. user is captured by the caller inside its lock
+// window — snapshot readers finish outside any engine lock, where
+// reading s.user directly would race SetUser.
 //
 // extra:acquires db.slowMu.W
-func (db *DB) finishTrace(s *Session, src, kind string, tr *trace.StmtTrace, start time.Time) {
+func (db *DB) finishTrace(sid int64, user, src, kind string, tr *trace.StmtTrace, start time.Time) {
 	total := time.Since(start)
 	db.hParse.Observe(tr.Dur(trace.PhaseParse))
 	db.hCheck.Observe(tr.Dur(trace.PhaseCheck))
@@ -71,12 +73,12 @@ func (db *DB) finishTrace(s *Session, src, kind string, tr *trace.StmtTrace, sta
 	db.hStmt.Observe(total)
 	db.cRows.Add(uint64(tr.Rows))
 	traceID := tr.TraceID()
-	tr.Finish(src, s.id, s.user, kind, total)
+	tr.Finish(src, sid, user, kind, total)
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
 	if db.slowThreshold > 0 && total >= db.slowThreshold {
 		entry := SlowQuery{
-			Src: src, Session: s.id, When: time.Now(), Total: total,
+			Src: src, Session: sid, When: time.Now(), Total: total,
 			Parse:   tr.Dur(trace.PhaseParse),
 			Check:   tr.Dur(trace.PhaseCheck),
 			Plan:    tr.Dur(trace.PhasePlan),
@@ -98,12 +100,12 @@ func (db *DB) finishTrace(s *Session, src, kind string, tr *trace.StmtTrace, sta
 // metrics behavior (counted in stmt.errors, not observed in the phase
 // histograms), but the trace — annotated with the error — is retained:
 // failed statements are exactly the ones worth looking at.
-func (db *DB) abortTrace(s *Session, src, kind string, tr *trace.StmtTrace, start time.Time, err error) {
+func (db *DB) abortTrace(sid int64, user, src, kind string, tr *trace.StmtTrace, start time.Time, err error) {
 	if !tr.Sampled() {
 		return
 	}
 	tr.Active().Attr(0, "error", err.Error())
-	tr.Finish(src, s.id, s.user, kind, time.Since(start))
+	tr.Finish(src, sid, user, kind, time.Since(start))
 }
 
 // addRetrieveSpans converts an instrumented retrieve's runtime actuals
