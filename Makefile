@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fuzz bench
+.PHONY: build test race lint vet fuzz bench crash-stress
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,10 @@ fuzz:
 
 bench:
 	$(GO) test -short -run '^$$' -bench 'Join|AccessMethod|RefChase' -benchtime=1x ./...
+
+# Durability stress: the crash harness (kill-and-reopen rounds under the
+# race detector) plus the WAL torn-tail corpus. EXTRA_CRASH_ROUNDS
+# scales the number of kill cycles.
+crash-stress:
+	$(GO) test -race -count=2 ./internal/wal/ ./internal/storage/
+	EXTRA_CRASH_ROUNDS=12 $(GO) test -race -count=1 -run 'TestCrashRecovery' -v .

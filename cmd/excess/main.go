@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	excess [-file pages.db] [-pool 256] [-load snapshot.xd] [-slow 1ms] [-trace N] [-serve addr] [script.xs ...]
+//	excess [-file pages.db] [-wal dir] [-walsync group|each|none] [-pool 256] [-load snapshot.xd] [-slow 1ms] [-trace N] [-serve addr] [script.xs ...]
 //
 // With script arguments the files are executed in order and the shell
 // exits; otherwise an interactive prompt reads statements from stdin.
@@ -24,6 +24,8 @@
 //	                control statement-trace sampling; \trace last renders
 //	                the most recent sampled statement's span tree
 //	\user [NAME]    show or switch the shell session's user
+//	\checkpoint     write a checkpoint and truncate the write-ahead log
+//	\wal            show write-ahead-log LSN watermarks
 //	\optimizer on|off
 //	\prepare NAME STMT
 //	                prepare a statement with $1..$n parameter slots
@@ -52,6 +54,8 @@ import (
 
 func main() {
 	file := flag.String("file", "", "back pages with this file instead of memory")
+	walDir := flag.String("wal", "", "write-ahead-log directory (enables durability and crash recovery)")
+	walSync := flag.String("walsync", "group", "WAL sync mode: group, each or none")
 	pool := flag.Int("pool", 256, "buffer pool size in pages")
 	load := flag.String("load", "", "replay a Dump snapshot before starting")
 	slow := flag.Duration("slow", 0, "slow-query log threshold for \\slow (0 = default 100ms)")
@@ -62,6 +66,14 @@ func main() {
 	var opts []extra.Option
 	if *file != "" {
 		opts = append(opts, extra.WithFileStore(*file))
+	}
+	if *walDir != "" {
+		mode, err := extra.ParseWALSyncMode(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "excess:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, extra.WithWAL(*walDir), extra.WithWALSync(mode))
 	}
 	opts = append(opts, extra.WithPoolSize(*pool))
 	if *slow > 0 {
@@ -246,7 +258,7 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 	case `\quit`, `\q`:
 		return false
 	case `\help`, `\h`:
-		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \trace on|off|last|every N \user [NAME] \optimizer on|off \prepare NAME STMT \exec NAME [ARG ...] \prepared \deallocate NAME \quit`)
+		fmt.Println(`\types \type NAME \vars \adts \stats [json] \explain QUERY \analyze [json] QUERY \slow \trace on|off|last|every N \user [NAME] \checkpoint \wal \optimizer on|off \prepare NAME STMT \exec NAME [ARG ...] \prepared \deallocate NAME \quit`)
 	case `\types`:
 		for _, n := range db.Catalog().TupleTypeNames() {
 			fmt.Println(" ", n)
@@ -382,6 +394,20 @@ func meta(db *extra.DB, sess *extra.Session, cmd string) bool {
 		} else {
 			fmt.Printf("  now %s\n", fields[1])
 		}
+	case `\checkpoint`:
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			next, durable := db.WALStats()
+			fmt.Printf("  checkpoint written; log truncated (next lsn %d, durable %d)\n", next, durable)
+		}
+	case `\wal`:
+		next, durable := db.WALStats()
+		if next == 0 {
+			fmt.Println("  no write-ahead log (start with -wal DIR)")
+			break
+		}
+		fmt.Printf("  next lsn %d, durable through %d\n", next, durable)
 	case `\prepare`:
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\prepare`))
 		name, src, ok := strings.Cut(rest, " ")

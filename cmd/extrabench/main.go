@@ -94,6 +94,7 @@ func main() {
 		{"B12", "parallel read throughput: sessions sharing the read lock", b12},
 		{"B13", "compile-once: plan cache, prepared statements, compiled expressions", b13},
 		{"B15", "tracing overhead: off vs sampled 1-in-100 vs always-on", b15},
+		{"B16", "durability: group commit vs fsync-per-commit vs no WAL", b16},
 	}
 	want := map[string]bool{}
 	all := *expFlag == "all"
@@ -1113,4 +1114,142 @@ func b15() error {
 		fmt.Println("  wrote", *traceOut)
 	}
 	return nil
+}
+
+// duraRecord is one line of BENCH_durability.json: commit throughput for
+// one (sync mode, sessions) cell of the group-commit matrix.
+type duraRecord struct {
+	Name       string  `json:"name"`
+	SyncMode   string  `json:"sync_mode"`
+	Sessions   int     `json:"sessions"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	Commits    int     `json:"commits"`
+	TotalNs    int64   `json:"total_ns"`
+	CommitsSec float64 `json:"commits_per_sec"`
+	VsEach     float64 `json:"speedup_vs_each"`
+	Fsyncs     uint64  `json:"fsyncs"`
+	PerFsync   float64 `json:"commits_per_fsync"`
+}
+
+// b16 measures acknowledged-commit throughput under the three WAL sync
+// modes at 1, 4 and 16 concurrent sessions, each session running
+// single-row prepared appends. "each" fsyncs once per commit and is the
+// classical lower bound; "group" batches every committer that arrived
+// while the previous fsync was in flight into one write+fsync, so its
+// advantage grows with concurrency; "none" (no wait) bounds what the
+// lock path alone would allow. A no-WAL column isolates the logging
+// overhead itself. Writes BENCH_durability.json for CI trend tooling.
+func b16() error {
+	perSession := *reps * 5
+	levels := []int{1, 4, 16}
+	if *par > 0 {
+		levels = []int{*par}
+	}
+	modes := []string{"each", "group", "none", "off"}
+	row("sessions", "mode", "commits", "elapsed", "commits/sec", "vs each", "batching")
+	var recs []duraRecord
+	for _, sessions := range levels {
+		var eachRate float64
+		for _, mode := range modes {
+			dir, err := os.MkdirTemp("", "extra-b16-*")
+			if err != nil {
+				return err
+			}
+			opts := []extra.Option{extra.WithPoolSize(4096)}
+			if mode != "off" {
+				sm, err := extra.ParseWALSyncMode(mode)
+				if err != nil {
+					return err
+				}
+				opts = append(opts, extra.WithWAL(dir), extra.WithWALSync(sm))
+			}
+			db, err := extra.Open(opts...)
+			if err != nil {
+				return err
+			}
+			track(db)
+			if _, err := db.Exec(`
+				define type B16Row: ( name: varchar, v: int4 )
+				create B16Rows : { own B16Row }
+			`); err != nil {
+				db.Close()
+				return err
+			}
+			elapsed, err := b16Cell(db, sessions, perSession)
+			fsyncs := db.WALFsyncs()
+			db.Close()
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+			commits := sessions * perSession
+			rate := float64(commits) / elapsed.Seconds()
+			if mode == "each" {
+				eachRate = rate
+			}
+			vs := rate / eachRate
+			perFsync := 0.0
+			if fsyncs > 0 {
+				perFsync = float64(commits) / float64(fsyncs)
+			}
+			row(sessions, mode, commits, elapsed.Round(time.Microsecond),
+				fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2fx", vs),
+				fmt.Sprintf("%.1f c/fsync", perFsync))
+			recs = append(recs, duraRecord{
+				Name:       fmt.Sprintf("Commit%s%dS", strings.ToUpper(mode[:1])+mode[1:], sessions),
+				SyncMode:   mode,
+				Sessions:   sessions,
+				Gomaxprocs: runtime.GOMAXPROCS(0),
+				Commits:    commits,
+				TotalNs:    elapsed.Nanoseconds(),
+				CommitsSec: rate,
+				VsEach:     vs,
+				Fsyncs:     fsyncs,
+				PerFsync:   perFsync,
+			})
+		}
+	}
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_durability.json", append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_durability.json")
+	return nil
+}
+
+// b16Cell runs one cell: sessions goroutines, each committing perSession
+// acknowledged single-row appends through its own prepared statement.
+func b16Cell(db *extra.DB, sessions, perSession int) (time.Duration, error) {
+	errc := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			st, err := sess.Prepare(`append to B16Rows (name = $1, v = $2)`)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < perSession; i++ {
+				if _, err := st.Exec(fmt.Sprintf("g%d-%d", g, i), i); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
 }

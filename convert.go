@@ -3,9 +3,11 @@ package extra
 import (
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/oid"
 	"repro/internal/types"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // Attrs is a Go-side attribute map for bulk loading: keys are attribute
@@ -36,8 +38,6 @@ func (o Obj) String() string { return fmt.Sprintf("%s<%s>", o.id, o.typ) }
 //
 // extra:acquires db.wmu.W
 func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
 	v, ok := db.cat.Var(extent)
 	if !ok || !v.IsObjectSet() {
 		return Obj{}, fmt.Errorf("%s is not an object-set extent", extent)
@@ -48,9 +48,9 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 	if err != nil {
 		return Obj{}, err
 	}
-	id, err := db.store.Insert(extent, tv)
-	if cerr := db.store.Commit(); cerr != nil && err == nil {
-		err = cerr
+	id, lsn, err := db.insertTuple(extent, tv)
+	if derr := db.waitDurable(lsn); derr != nil && err == nil {
+		err = derr
 	}
 	if err != nil {
 		return Obj{}, err
@@ -58,22 +58,76 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 	return Obj{id: id, typ: tt.Name}, nil
 }
 
+// insertTuple is Insert's critical section: store the tuple, publish,
+// and log. The tuple is serialized before insertion so the WAL holds
+// the pre-insert value — replay re-runs the same insertion and the
+// sequential OID generator re-allocates the same identity. Recovery
+// replays through here too (db.wal is nil then, so nothing re-logs).
+//
+// extra:acquires db.wmu.W
+func (db *DB) insertTuple(extent string, tv *value.Tuple) (oid.OID, uint64, error) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	var enc []byte
+	var encErr error
+	if db.wal != nil {
+		enc, encErr = codec.Encode(nil, tv)
+	}
+	id, err := db.store.Insert(extent, tv)
+	published, cerr := db.store.Commit()
+	if cerr != nil && err == nil {
+		err = cerr
+	}
+	var lsn uint64
+	if db.wal != nil && (err == nil || published) {
+		if encErr != nil {
+			if err == nil {
+				err = encErr
+			}
+			return id, 0, err
+		}
+		var lerr error
+		lsn, lerr = db.wal.Append(&wal.Record{
+			Kind:  wal.RecordInsert,
+			User:  "dba",
+			Erred: err != nil,
+			Src:   extent,
+			Data:  [][]byte{enc},
+		})
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+	}
+	return id, lsn, err
+}
+
 // SetRef stores a reference attribute on an object (bulk wiring of
 // relationships without EXCESS).
 //
 // extra:acquires db.wmu.W
 func (db *DB) SetRef(obj Obj, attr string, target Obj) error {
+	lsn, err := db.setRefLocked(obj, attr, target)
+	if derr := db.waitDurable(lsn); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// setRefLocked is SetRef's critical section: update, publish, log.
+//
+// extra:acquires db.wmu.W
+func (db *DB) setRefLocked(obj Obj, attr string, target Obj) (uint64, error) {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
 	tv, ok, err := db.store.Get(obj.id)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if !ok {
-		return fmt.Errorf("object %s no longer exists", obj)
+		return 0, fmt.Errorf("object %s no longer exists", obj)
 	}
 	if i := tv.Type.AttrIndex(attr); i < 0 {
-		return fmt.Errorf("type %s has no attribute %s", tv.Type.Name, attr)
+		return 0, fmt.Errorf("type %s has no attribute %s", tv.Type.Name, attr)
 	}
 	var nv value.Value = value.Null{}
 	if target.Valid() {
@@ -81,10 +135,29 @@ func (db *DB) SetRef(obj Obj, attr string, target Obj) error {
 	}
 	tv.Set(attr, nv)
 	err = db.store.Update(obj.id, tv)
-	if cerr := db.store.Commit(); cerr != nil && err == nil {
+	published, cerr := db.store.Commit()
+	if cerr != nil && err == nil {
 		err = cerr
 	}
-	return err
+	var lsn uint64
+	if db.wal != nil && (err == nil || published) {
+		targetOID, targetTyp := []byte(nil), []byte(nil)
+		if target.Valid() {
+			targetOID, targetTyp = oidBytes(target.id), []byte(target.typ)
+		}
+		var lerr error
+		lsn, lerr = db.wal.Append(&wal.Record{
+			Kind:  wal.RecordSetRef,
+			User:  "dba",
+			Erred: err != nil,
+			Src:   attr,
+			Data:  [][]byte{oidBytes(obj.id), []byte(obj.typ), targetOID, targetTyp},
+		})
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+	}
+	return lsn, err
 }
 
 // tupleFromAttrs converts a Go attribute map into a typed tuple value.

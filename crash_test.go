@@ -1,0 +1,219 @@
+package extra
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The crash harness re-executes this test binary as a child process that
+// runs an append workload against a WAL-backed database, printing an ACK
+// line for every commit the engine acknowledged as durable. The parent
+// kills the child at a random moment (SIGKILL — no shutdown path runs),
+// reopens the same log directory, and checks the two durability
+// invariants: the store is consistent, and every acknowledged write is
+// present. Rows beyond the last ACK are allowed — a commit can become
+// durable in the instant between fsync and the ACK reaching the parent —
+// but an acknowledged row that is missing is a contract violation.
+
+const (
+	crashChildEnv = "EXTRA_CRASH_CHILD"
+	crashDirEnv   = "EXTRA_CRASH_DIR"
+	crashRoundEnv = "EXTRA_CRASH_ROUND"
+	crashSyncEnv  = "EXTRA_CRASH_SYNC"
+)
+
+const crashSchema = `
+	define type CrashRow: ( name: varchar, round: int4 )
+	create CrashRows : { own CrashRow }
+`
+
+// TestCrashChild is the child side. It is a no-op unless the parent's
+// env gate is set, so a plain `go test` never runs a workload here.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("crash harness child (run by TestCrashRecovery)")
+	}
+	dir := os.Getenv(crashDirEnv)
+	round := os.Getenv(crashRoundEnv)
+	mode, err := ParseWALSyncMode(os.Getenv(crashSyncEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(WithWAL(dir), WithWALSync(mode))
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	// Periodic checkpoints so kills also land mid-checkpoint.
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				db.Checkpoint() //nolint:errcheck // killed any moment; best-effort
+			}
+		}
+	}()
+	defer close(stop)
+
+	var mu sync.Mutex // serializes ACK lines on stdout
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := db.NewSession()
+			st, err := s.Prepare(`append to CrashRows (name = $1, round = $2)`)
+			if err != nil {
+				fmt.Printf("CHILDERR prepare: %v\n", err)
+				return
+			}
+			for i := 0; ; i++ {
+				name := fmt.Sprintf("r%s-g%d-%06d", round, g, i)
+				if _, err := st.Exec(name, g); err != nil {
+					fmt.Printf("CHILDERR exec: %v\n", err)
+					return
+				}
+				mu.Lock()
+				fmt.Printf("ACK %s\n", name)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCrashRecovery is the parent: repeated kill-and-reopen rounds over
+// one log directory, alternating sync modes.
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "" {
+		t.Skip("parent side; this process is a child")
+	}
+	if testing.Short() {
+		t.Skip("crash harness forks children; skipped in -short")
+	}
+	dir := t.TempDir()
+
+	// The schema is created by the parent in a clean open/close cycle so
+	// every child round starts from a well-formed database.
+	db, err := Open(WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(crashSchema)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := 5
+	if v := os.Getenv("EXTRA_CRASH_ROUNDS"); v != "" {
+		fmt.Sscanf(v, "%d", &rounds) //nolint:errcheck
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	acked := make(map[string]bool)
+
+	for round := 0; round < rounds; round++ {
+		mode := []string{"group", "each"}[round%2]
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCrashChild$")
+		cmd.Env = append(os.Environ(),
+			crashChildEnv+"=1",
+			crashDirEnv+"="+dir,
+			fmt.Sprintf("%s=%d", crashRoundEnv, round),
+			crashSyncEnv+"="+mode,
+		)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		ackCh := make(chan string, 1024)
+		go func() {
+			sc := bufio.NewScanner(out)
+			for sc.Scan() {
+				line := sc.Text()
+				if name, ok := strings.CutPrefix(line, "ACK "); ok {
+					ackCh <- name
+				} else if strings.HasPrefix(line, "CHILDERR") {
+					t.Errorf("round %d: %s", round, line)
+				}
+			}
+			close(ackCh)
+		}()
+
+		// Let the child commit for a random window past its first ACK,
+		// then kill it without ceremony.
+		killAfter := 1 + rng.Intn(40)
+		seen := 0
+		deadline := time.After(20 * time.Second)
+	collect:
+		for seen < killAfter {
+			select {
+			case name, ok := <-ackCh:
+				if !ok {
+					break collect // child died on its own; CHILDERR reported
+				}
+				acked[name] = true
+				seen++
+			case <-deadline:
+				t.Fatalf("round %d: child produced %d/%d ACKs before timeout", round, seen, killAfter)
+			}
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		// Drain ACKs that were already in flight when the kill landed.
+		for name := range ackCh {
+			acked[name] = true
+		}
+		cmd.Wait() //nolint:errcheck // killed; non-zero exit is expected
+
+		// Recover and check the oracle.
+		db, err := Open(WithWAL(dir))
+		if err != nil {
+			t.Fatalf("round %d: reopen after kill: %v", round, err)
+		}
+		if v := db.CheckConsistency(); v != nil {
+			t.Fatalf("round %d: consistency after crash: %v", round, v)
+		}
+		res, err := db.Query(`retrieve (C.name) from C in CrashRows`)
+		if err != nil {
+			t.Fatalf("round %d: query after recovery: %v", round, err)
+		}
+		present := make(map[string]bool, len(res.Rows))
+		for _, row := range res.Rows {
+			present[strings.Trim(row[0].String(), `"`)] = true
+		}
+		missing := 0
+		for name := range acked {
+			if !present[name] {
+				missing++
+				if missing <= 5 {
+					t.Errorf("round %d: acknowledged row %s lost after crash", round, name)
+				}
+			}
+		}
+		if missing > 0 {
+			t.Fatalf("round %d: %d acknowledged rows lost (%d acked, %d present)",
+				round, missing, len(acked), len(present))
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		t.Logf("round %d (%s): %d rows acked so far, %d present after recovery",
+			round, mode, len(acked), len(present))
+	}
+}

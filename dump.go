@@ -2,10 +2,12 @@ package extra
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Dump writes a snapshot of the database — schema DDL, every object with
@@ -148,31 +151,114 @@ func (db *DB) Dump(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DumpFile writes a snapshot to a file.
+// DumpFile writes a snapshot to a file, atomically: the stream goes to
+// a temp file in the target's directory, is fsynced, and renamed over
+// the target — a crash mid-dump leaves the previous dump intact.
 func (db *DB) DumpFile(path string) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, func(f *os.File) error { return db.Dump(f) })
+}
+
+// writeFileAtomic writes a file via fn with crash-safe replace
+// semantics: temp file in the same directory, fsync, atomic rename,
+// directory sync. Either the old content or the complete new content
+// survives a crash, never a prefix.
+func writeFileAtomic(path string, fn func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
-	if err := db.Dump(f); err != nil {
-		f.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fn(tmp); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Make the rename itself durable (best-effort: some filesystems
+	// reject directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
+
+// LoadError reports where a Load stream failed; the database was left
+// unchanged.
+type LoadError struct {
+	Line int   // 1-based line of the dump stream
+	Err  error // what went wrong there
+}
+
+func (e *LoadError) Error() string { return fmt.Sprintf("dump line %d: %v", e.Line, e.Err) }
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // Load replays a Dump stream into this database, which must be freshly
 // opened (empty catalog). Objects keep their identities; references
 // across extents therefore survive the round trip.
+//
+// Load is all-or-nothing: the stream is first staged into a scratch
+// database (sharing this database's ADT registry), and only a stream
+// that restores cleanly there is applied here — a bad dump leaves the
+// database unchanged and returns a *LoadError locating the first bad
+// line. The engine itself has no statement rollback, so the validation
+// pass is what provides the atomicity.
 func (db *DB) Load(r io.Reader) error {
 	if len(db.cat.VarNames()) != 0 || len(db.cat.TupleTypeNames()) != 0 {
 		return fmt.Errorf("Load requires a fresh database")
 	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	scratch, err := open(config{poolPages: 64, slowCap: 1, traceCap: 1}, db.reg)
+	if err != nil {
+		return fmt.Errorf("load staging: %w", err)
+	}
+	stageErr := scratch.loadStream(bytes.NewReader(raw))
+	scratch.Close()
+	if stageErr != nil {
+		return stageErr
+	}
+	return db.loadStream(bytes.NewReader(raw))
+}
+
+// loadStream replays a dump stream directly into the database with no
+// staging pass — the shared worker under Load (which validates first)
+// and WAL checkpoint restore (whose input is trusted: it was written
+// atomically by Checkpoint).
+func (db *DB) loadStream(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	section := ""
 	lineNo := 0
 	var data []dataLine
+	var lastLSN uint64
+	flush := func() error {
+		lsn, err := db.restoreData(data)
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+		data = nil
+		return err
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -184,10 +270,9 @@ func (db *DB) Load(r io.Reader) error {
 			// critical section, before the index DDL that backfills from
 			// them.
 			if section == "--data" {
-				if err := db.restoreData(data); err != nil {
+				if err := flush(); err != nil {
 					return err
 				}
-				data = nil
 			}
 			section = line
 			continue
@@ -195,15 +280,18 @@ func (db *DB) Load(r io.Reader) error {
 		switch section {
 		case "--ddl", "--indexes":
 			if _, err := db.Exec(line); err != nil {
-				return fmt.Errorf("dump line %d: %w", lineNo, err)
+				return &LoadError{Line: lineNo, Err: err}
 			}
 		case "--data":
 			data = append(data, dataLine{no: lineNo, text: line})
 		default:
-			return fmt.Errorf("dump line %d: content outside a section", lineNo)
+			return &LoadError{Line: lineNo, Err: fmt.Errorf("content outside a section")}
 		}
 	}
-	if err := db.restoreData(data); err != nil {
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := db.waitDurable(lastLSN); err != nil {
 		return err
 	}
 	return sc.Err()
@@ -218,29 +306,50 @@ type dataLine struct {
 // restoreData replays the --data records in one write-lock critical
 // section and publishes a single snapshot at the end: the restore is
 // one logical mutation, so a concurrent reader sees either none of the
-// restored data or all of it.
+// restored data or all of it. The whole section is one WAL record
+// (replay stops at the same first bad line the original run did); the
+// returned LSN is 0 when nothing was logged, and the caller awaits
+// durability outside the lock.
 //
 // extra:acquires db.wmu.W
-func (db *DB) restoreData(lines []dataLine) error {
+func (db *DB) restoreData(lines []dataLine) (uint64, error) {
 	if len(lines) == 0 {
-		return nil
+		return 0, nil
 	}
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
 	if db.closed {
-		return errDBClosed
+		return 0, errDBClosed
 	}
 	var err error
 	for _, l := range lines {
 		if lerr := db.loadDataLine(l.text); lerr != nil {
-			err = fmt.Errorf("dump line %d: %w", l.no, lerr)
+			err = &LoadError{Line: l.no, Err: lerr}
 			break
 		}
 	}
-	if cerr := db.store.Commit(); cerr != nil && err == nil {
+	published, cerr := db.store.Commit()
+	if cerr != nil && err == nil {
 		err = cerr
 	}
-	return err
+	var lsn uint64
+	if db.wal != nil && (err == nil || published) {
+		texts := make([]string, len(lines))
+		for i, l := range lines {
+			texts[i] = l.text
+		}
+		var lerr error
+		lsn, lerr = db.wal.Append(&wal.Record{
+			Kind:  wal.RecordLoad,
+			User:  "dba",
+			Erred: err != nil,
+			Src:   strings.Join(texts, "\n"),
+		})
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+	}
+	return lsn, err
 }
 
 // LoadFile replays a snapshot file.

@@ -181,48 +181,67 @@ func (db *DB) analyzeSnapshot(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 ti
 // analyzeWrite is analyze's write path (retrieve into): it mutates the
 // catalog and the store, so it serializes like DDL — the write lock
 // plus the exclusive statement lock — and publishes the snapshot its
-// mutations produce.
+// mutations produce, logging the statement like any other committed
+// write. Durability is awaited after both locks are released.
 //
 // extra:acquires db.wmu.W
 // extra:acquires db.mu.W
 func (db *DB) analyzeWrite(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.Time) (*algebra.Plan, algebra.AnalyzeSummary, error) {
 	sess := db.def
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, sum, errDBClosed
+	var plan *algebra.Plan
+	var lsn uint64
+	err := func() error {
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return errDBClosed
+		}
+		es := db.exec.NewState()
+		defer es.Release()
+		es.BindLive()
+		catVer := db.cat.Version()
+		cq, err := sess.checker(nil).CheckRetrieve(r)
+		sum.Check = time.Since(t0) - sum.Parse
+		if err != nil {
+			return err
+		}
+		if err := sess.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
+			return err
+		}
+		tp := time.Now()
+		plan = es.Plan(cq.Query)
+		sum.Plan = time.Since(tp)
+		plan.EnableRuntime()
+		poolBase := db.pool.Stats()
+		te := time.Now()
+		res, err := es.RetrievePlan(cq, plan)
+		sum.Execute = time.Since(te)
+		published, cerr := db.store.Commit()
+		if cerr != nil && err == nil {
+			err = cerr
+		}
+		var lerr error
+		lsn, lerr = db.logStmt(sess, r, nil, err, published || db.cat.Version() != catVer)
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+		if err != nil {
+			return err
+		}
+		if cq.Into != "" {
+			db.auth.SetOwner(cq.Into, sess.user)
+		}
+		db.finishAnalyze(&sum, cq, res, poolBase)
+		return nil
+	}()
+	if derr := db.waitDurable(lsn); derr != nil && err == nil {
+		err = derr
 	}
-	es := db.exec.NewState()
-	defer es.Release()
-	es.BindLive()
-	cq, err := sess.checker(nil).CheckRetrieve(r)
-	sum.Check = time.Since(t0) - sum.Parse
 	if err != nil {
 		return nil, sum, err
 	}
-	if err := sess.authQuery(cq.Query, nil, targetExprs(cq)...); err != nil {
-		return nil, sum, err
-	}
-	tp := time.Now()
-	plan := es.Plan(cq.Query)
-	sum.Plan = time.Since(tp)
-	plan.EnableRuntime()
-	poolBase := db.pool.Stats()
-	te := time.Now()
-	res, err := es.RetrievePlan(cq, plan)
-	sum.Execute = time.Since(te)
-	if cerr := db.store.Commit(); cerr != nil && err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, sum, err
-	}
-	if cq.Into != "" {
-		db.auth.SetOwner(cq.Into, sess.user)
-	}
-	db.finishAnalyze(&sum, cq, res, poolBase)
 	return plan, sum, nil
 }
 

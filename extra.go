@@ -59,6 +59,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // errDBClosed reports use of a closed database.
@@ -163,6 +164,14 @@ type DB struct {
 	tracer     *trace.Tracer
 	labelStmts atomic.Bool
 	debug      *debugServer
+
+	// wal, when non-nil, write-ahead-logs every committed write (see
+	// wal.go). Assigned once during Open, after recovery replay — replay
+	// re-executes statements with wal still nil, which is what keeps
+	// them from being re-logged. walDir holds the log directory for
+	// Checkpoint.
+	wal    *wal.Log
+	walDir string
 }
 
 // Option configures Open.
@@ -176,6 +185,8 @@ type config struct {
 	traceEvery    int
 	traceCap      int
 	debugAddr     string
+	walDir        string
+	walSync       wal.SyncMode
 }
 
 // WithPoolSize sets the buffer pool capacity in pages (default 256).
@@ -206,6 +217,13 @@ func Open(opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return open(cfg, adt.NewRegistry())
+}
+
+// open builds a DB over an existing ADT registry. Load's staging pass
+// uses it to validate a dump in a scratch database that shares the real
+// database's registry, so application-registered ADTs resolve there too.
+func open(cfg config, reg *adt.Registry) (*DB, error) {
 	if cfg.slowCap < 1 {
 		cfg.slowCap = 1
 	}
@@ -219,7 +237,6 @@ func Open(opts ...Option) (*DB, error) {
 	} else {
 		ps = storage.NewMemStore()
 	}
-	reg := adt.NewRegistry()
 	cat := catalog.New(reg)
 	pool := storage.NewBufferPool(ps, cfg.poolPages)
 	store := object.New(pool, cat)
@@ -251,8 +268,19 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	db.exec.SetMetrics(mreg)
 	db.def = &Session{db: db, id: 0, user: "dba", sem: sema.NewSession()}
+	if cfg.walDir != "" {
+		// Recovery before anything else can observe the DB: checkpoint
+		// restore, then log replay, then the log is live for appends.
+		if err := db.openWAL(cfg.walDir, cfg.walSync); err != nil {
+			db.pool.Store().Close()
+			return nil, err
+		}
+	}
 	if cfg.debugAddr != "" {
 		if err := db.startDebugServer(cfg.debugAddr); err != nil {
+			if db.wal != nil {
+				db.wal.Close()
+			}
 			db.pool.Store().Close()
 			return nil, err
 		}
@@ -277,10 +305,22 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	var walErr error
+	if db.wal != nil {
+		// Drains and fsyncs whatever the flusher still holds, so a clean
+		// Close leaves nothing for the next recovery to lose.
+		walErr = db.wal.Close()
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
-	return db.pool.Store().Close()
+	if err := db.pool.Store().Sync(); err != nil {
+		return err
+	}
+	if err := db.pool.Store().Close(); err != nil {
+		return err
+	}
+	return walErr
 }
 
 // Registry exposes the ADT registry for registering new abstract data

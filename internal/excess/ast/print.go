@@ -79,7 +79,11 @@ func printStmt(b *strings.Builder, s Statement) {
 			printStmt(b, st)
 		}
 	case *DefineIndex:
-		b.WriteString("define index " + x.Name + " on " + x.Extent + " (" + strings.Join(x.Path, ".") + ")")
+		b.WriteString("define ")
+		if x.Unique {
+			b.WriteString("unique ")
+		}
+		b.WriteString("index " + x.Name + " on " + x.Extent + " (" + strings.Join(x.Path, ".") + ")")
 	case *RangeDecl:
 		b.WriteString("range of " + x.Var + " is ")
 		if x.All {

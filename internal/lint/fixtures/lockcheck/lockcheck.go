@@ -63,6 +63,22 @@ func goodHolds(d *DB) {
 	d.read()
 }
 
+// goodTryLock is the group-commit leader shape: win the lock with
+// TryLock, run the requires-annotated body, release.
+func goodTryLock(d *DB) {
+	if d.mu.TryLock() {
+		d.mutate()
+		d.mu.Unlock()
+	}
+}
+
+func badAfterTryUnlock(d *DB) {
+	if d.mu.TryLock() {
+		d.mu.Unlock()
+	}
+	d.mutate() // want `requires db.mu.W, but badAfterTryUnlock holds no lock`
+}
+
 func badNoLock(d *DB) {
 	d.mutate() // want `requires db.mu.W, but badNoLock holds no lock`
 }
@@ -296,6 +312,7 @@ func badReentrantBatch(d *DB) {
 // keep the otherwise-unused fixture entry points alive for the compiler
 var _ = []func(*DB){
 	goodExclusive, goodShared, goodAcquirer, goodHolds,
+	goodTryLock, badAfterTryUnlock,
 	badNoLock, badSharedForWrite, badReentrant, badAfterUnlock, badHoldsThenWrite,
 	goodSnapshotRead, goodWriteBatch, badCatalogAfterPin, badCommitNoLock,
 	badCommitLockForCatalog, badStatementLockForCommit, badReentrantBatch,

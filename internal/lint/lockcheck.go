@@ -198,9 +198,12 @@ func runLockCheck(pass *Pass) {
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 				if lock, isLock := resolveLockExpr(lt, info, sel.X); isLock {
 					switch sel.Sel.Name {
-					case "Lock":
+					case "Lock", "TryLock":
+						// TryLock is treated as an acquisition: the analysis
+						// is flow-insensitive, and code guarded by a failed
+						// TryLock branch must not rely on the lock anyway.
 						events = append(events, lockEvent{call.Pos(), lock, modeW})
-					case "RLock":
+					case "RLock", "TryRLock":
 						events = append(events, lockEvent{call.Pos(), lock, modeR})
 					case "Unlock", "RUnlock":
 						if !deferred[call] {

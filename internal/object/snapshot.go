@@ -324,16 +324,18 @@ func (s *Store) markIndexes()           { s.dirtyIdx = true }
 // snapshot: dirty objects are decoded once, layered over the previous
 // snapshot's object map, dirty extents get fresh scan-order views, and
 // the whole bundle is installed with one atomic store. No-op when
-// nothing changed since the last commit. The caller must hold the write
-// lock (the same exclusion every mutating method requires); readers
-// never block on it — they keep their pinned snapshot.
+// nothing changed since the last commit (published reports whether a
+// new snapshot actually went out — the WAL layer logs exactly the
+// statements that published). The caller must hold the write lock (the
+// same exclusion every mutating method requires); readers never block
+// on it — they keep their pinned snapshot.
 //
 // extra:requires db.wmu.W
 // extra:bumps
-func (s *Store) Commit() error {
+func (s *Store) Commit() (published bool, err error) {
 	if len(s.dirtyObjs) == 0 && len(s.dirtyExts) == 0 && len(s.dirtyElems) == 0 &&
 		len(s.dirtyVars) == 0 && !s.dirtyIdx {
-		return nil
+		return false, nil
 	}
 	// Publication is itself a store-state change: bump so snapshot
 	// versions are distinct from the pre-commit working version and
@@ -354,7 +356,7 @@ func (s *Store) Commit() error {
 		}
 		so, err := s.freezeObj(id, info)
 		if err != nil {
-			return err
+			return false, err
 		}
 		layer.m[id] = so
 	}
@@ -377,7 +379,7 @@ func (s *Store) Commit() error {
 		}
 		es, err := s.freezeExtent(name, layer)
 		if err != nil {
-			return err
+			return false, err
 		}
 		exts[name] = es
 	}
@@ -394,7 +396,7 @@ func (s *Store) Commit() error {
 		}
 		es, err := s.freezeElems(name)
 		if err != nil {
-			return err
+			return false, err
 		}
 		elems[name] = es
 	}
@@ -411,7 +413,7 @@ func (s *Store) Commit() error {
 		}
 		v, err := s.GetVar(name)
 		if err != nil {
-			return err
+			return false, err
 		}
 		vars[name] = v
 	}
@@ -440,7 +442,7 @@ func (s *Store) Commit() error {
 	clear(s.dirtyElems)
 	clear(s.dirtyVars)
 	s.dirtyIdx = false
-	return nil
+	return true, nil
 }
 
 // freezeObj decodes one live object into its frozen snapshot form. The

@@ -20,6 +20,10 @@ type PageStore interface {
 	Free(id PageID) error
 	// NumPages returns the number of allocated pages (for stats).
 	NumPages() int
+	// Sync forces written pages onto stable storage (no-op for media
+	// without a durability boundary). The engine calls it at checkpoint
+	// and close; Write alone may buffer through the OS.
+	Sync() error
 	// Close releases underlying resources.
 	Close() error
 }
@@ -97,6 +101,9 @@ func (m *MemStore) NumPages() int {
 	defer m.mu.Unlock()
 	return len(m.pages)
 }
+
+// Sync implements PageStore; memory has no durability boundary.
+func (m *MemStore) Sync() error { return nil }
 
 // Close implements PageStore.
 func (m *MemStore) Close() error { return nil }
@@ -182,6 +189,10 @@ func (s *FileStore) NumPages() int {
 	defer s.mu.Unlock()
 	return int(s.next) - len(s.free)
 }
+
+// Sync implements PageStore: page writes go through WriteAt and buffer
+// in the OS until fsynced here.
+func (s *FileStore) Sync() error { return s.f.Sync() }
 
 // Close implements PageStore.
 func (s *FileStore) Close() error { return s.f.Close() }

@@ -205,30 +205,39 @@ func (st *Stmt) snapshotExec(r *ast.Retrieve, scope *paramScope, kind string, st
 
 // writeExec is the prepared write path: the statement serializes on the
 // write lock exactly like an unprepared write batch and runs through
-// runWriteStmt, which publishes the snapshot its mutations produce.
+// runWriteStmt, which publishes the snapshot its mutations produce and
+// logs the statement (with its bound arguments) to the WAL. Durability
+// is awaited after the lock is released so commits group.
 //
 // extra:acquires db.wmu.W
 func (st *Stmt) writeExec(scope *paramScope, kind string, start time.Time) (*Result, error) {
 	s := st.sess
 	db := s.db
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	if db.closed {
-		return nil, errDBClosed
-	}
-	user := s.user
 	var tr trace.StmtTrace
-	tr.Begin(db.tracer, start)
-	es := db.exec.NewState()
-	defer es.Release()
-	es.BindLive()
-	es.SetTrace(tr.Active())
 	var res *Result
-	runErr := s.labeled(kind, func() error {
-		var err error
-		res, err = s.runWriteStmt(es, st.st, scope, &tr)
-		return err
-	})
+	var lsn uint64
+	var user string
+	runErr := func() error {
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+		if db.closed {
+			return errDBClosed
+		}
+		user = s.user
+		tr.Begin(db.tracer, start)
+		es := db.exec.NewState()
+		defer es.Release()
+		es.BindLive()
+		es.SetTrace(tr.Active())
+		return s.labeled(kind, func() error {
+			var err error
+			res, lsn, err = s.runWriteStmt(es, st.st, scope, &tr)
+			return err
+		})
+	}()
+	if derr := db.waitDurable(lsn); derr != nil && runErr == nil {
+		runErr = derr
+	}
 	if runErr != nil {
 		db.cErrors.Inc()
 		db.abortTrace(s.id, user, st.src, kind, &tr, start, runErr)

@@ -181,41 +181,53 @@ func (s *Session) execSnapshot(stmts []ast.Statement, src, kind string, start ti
 
 // execWrite runs a batch containing at least one write statement. The
 // whole batch holds the write lock; each statement mutates the live
-// store and publishes a fresh snapshot when it completes (runWriteStmt),
-// so concurrent snapshot readers observe the batch statement by
-// statement and never a torn statement.
+// store, publishes a fresh snapshot when it completes (runWriteStmt),
+// and is appended to the WAL — so concurrent snapshot readers observe
+// the batch statement by statement and never a torn statement. The
+// durability wait happens after the lock is released: that hand-off is
+// what lets concurrent committers share one fsync (group commit).
 //
 // extra:acquires db.wmu.W
 func (s *Session) execWrite(stmts []ast.Statement, src, kind string, start time.Time, parseDur time.Duration) (*Result, error) {
 	db := s.db
-	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	// closed is written under both locks (Close takes wmu first), so
-	// reading it under wmu alone is race-free.
-	if db.closed {
-		return nil, errDBClosed
-	}
-	user := s.user
-	es := db.exec.NewState()
-	defer es.Release()
-	es.BindLive()
-	var tr trace.StmtTrace
-	tr.Begin(db.tracer, start)
-	tr.RecordPhase(trace.PhaseParse, start, parseDur)
-	es.SetTrace(tr.Active())
 	var last *Result
-	runErr := s.labeled(kind, func() error {
-		for _, st := range stmts {
-			r, err := s.runWriteStmt(es, st, nil, &tr)
-			if err != nil {
-				return err
-			}
-			if r != nil {
-				last = r
-			}
+	var lastLSN uint64
+	var user string
+	var tr trace.StmtTrace
+	runErr := func() error {
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+		// closed is written under both locks (Close takes wmu first), so
+		// reading it under wmu alone is race-free.
+		if db.closed {
+			return errDBClosed
 		}
-		return nil
-	})
+		user = s.user
+		es := db.exec.NewState()
+		defer es.Release()
+		es.BindLive()
+		tr.Begin(db.tracer, start)
+		tr.RecordPhase(trace.PhaseParse, start, parseDur)
+		es.SetTrace(tr.Active())
+		return s.labeled(kind, func() error {
+			for _, st := range stmts {
+				r, lsn, err := s.runWriteStmt(es, st, nil, &tr)
+				if lsn > lastLSN {
+					lastLSN = lsn
+				}
+				if err != nil {
+					return err
+				}
+				if r != nil {
+					last = r
+				}
+			}
+			return nil
+		})
+	}()
+	if derr := db.waitDurable(lastLSN); derr != nil && runErr == nil {
+		runErr = derr
+	}
 	if runErr != nil {
 		db.cErrors.Inc()
 		db.abortTrace(s.id, user, src, kind, &tr, start, runErr)
@@ -228,28 +240,38 @@ func (s *Session) execWrite(stmts []ast.Statement, src, kind string, start time.
 	return last, nil
 }
 
-// runWriteStmt runs one statement of a write batch and publishes the
-// resulting store snapshot. Publication happens even when the statement
-// errors: the engine has no rollback, so whatever the statement wrote
-// before failing is live state and must become visible to snapshot
-// readers exactly as it is to the next write statement. DDL-classified
+// runWriteStmt runs one statement of a write batch, publishes the
+// resulting store snapshot, and appends the statement to the WAL.
+// Publication happens even when the statement errors: the engine has no
+// rollback, so whatever the statement wrote before failing is live
+// state and must become visible to snapshot readers exactly as it is to
+// the next write statement (such statements are logged with the Erred
+// flag — their partial effects are durable state too). The returned LSN
+// is 0 when nothing was logged; the caller awaits durability with
+// db.waitDurable after releasing the write lock. DDL-classified
 // statements hold the exclusive statement lock across run + publish so
 // no reader pins a snapshot in the gap where the catalog has moved but
 // the snapshot has not.
 //
 // extra:requires db.wmu.W
 // extra:acquires db.mu.W
-func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
+func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, uint64, error) {
 	db := s.db
 	if ddlStatement(st) {
 		db.mu.Lock()
 		defer db.mu.Unlock()
 	}
+	catVer := db.cat.Version()
 	r, err := s.runStmt(es, st, params, tr)
-	if cerr := db.store.Commit(); cerr != nil && err == nil {
+	published, cerr := db.store.Commit()
+	if cerr != nil && err == nil {
 		err = cerr
 	}
-	return r, err
+	lsn, lerr := db.logStmt(s, st, params, err, published || db.cat.Version() != catVer)
+	if lerr != nil && err == nil {
+		err = lerr
+	}
+	return r, lsn, err
 }
 
 // runReadStmt runs one read-only statement (a retrieve without an into
