@@ -68,10 +68,25 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 func (db *DB) insertTuple(extent string, tv *value.Tuple) (oid.OID, uint64, error) {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
-	var enc []byte
-	var encErr error
+	var rec *wal.Record
 	if db.wal != nil {
-		enc, encErr = codec.Encode(nil, tv)
+		// An unencodable or oversize tuple refuses the insert while
+		// nothing has mutated: the engine has no rollback, and a
+		// published insert the log cannot hold would be invisible to
+		// recovery.
+		enc, err := codec.Encode(nil, tv)
+		if err != nil {
+			return 0, 0, err
+		}
+		rec = &wal.Record{
+			Kind: wal.RecordInsert,
+			User: "dba",
+			Src:  extent,
+			Data: [][]byte{enc},
+		}
+		if sz := rec.PayloadSize(); sz > wal.MaxRecord {
+			return 0, 0, fmt.Errorf("insert refused: %w (payload %d bytes, limit %d)", wal.ErrTooLarge, sz, wal.MaxRecord)
+		}
 	}
 	id, err := db.store.Insert(extent, tv)
 	published, cerr := db.store.Commit()
@@ -79,21 +94,10 @@ func (db *DB) insertTuple(extent string, tv *value.Tuple) (oid.OID, uint64, erro
 		err = cerr
 	}
 	var lsn uint64
-	if db.wal != nil && (err == nil || published) {
-		if encErr != nil {
-			if err == nil {
-				err = encErr
-			}
-			return id, 0, err
-		}
+	if rec != nil && (err == nil || published) {
+		rec.Erred = err != nil
 		var lerr error
-		lsn, lerr = db.wal.Append(&wal.Record{
-			Kind:  wal.RecordInsert,
-			User:  "dba",
-			Erred: err != nil,
-			Src:   extent,
-			Data:  [][]byte{enc},
-		})
+		lsn, lerr = db.wal.Append(rec)
 		if lerr != nil && err == nil {
 			err = lerr
 		}

@@ -219,12 +219,16 @@ func (e *LoadError) Unwrap() error { return e.Err }
 // that restores cleanly there is applied here — a bad dump leaves the
 // database unchanged and returns a *LoadError locating the first bad
 // line. The engine itself has no statement rollback, so the validation
-// pass is what provides the atomicity.
+// pass is what provides the atomicity; its price is reading the dump
+// twice and briefly holding a second (scratch) copy of the restored
+// data. When r seeks (a file, LoadFile's path), both passes stream
+// from it directly; otherwise the dump text is buffered in memory to
+// be replayable.
 func (db *DB) Load(r io.Reader) error {
 	if len(db.cat.VarNames()) != 0 || len(db.cat.TupleTypeNames()) != 0 {
 		return fmt.Errorf("Load requires a fresh database")
 	}
-	raw, err := io.ReadAll(r)
+	stage, rewind, err := loadPasses(r)
 	if err != nil {
 		return err
 	}
@@ -232,13 +236,46 @@ func (db *DB) Load(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("load staging: %w", err)
 	}
-	stageErr := scratch.loadStream(bytes.NewReader(raw))
+	stageErr := scratch.loadStream(stage)
 	scratch.Close()
 	if stageErr != nil {
 		return stageErr
 	}
-	return db.loadStream(bytes.NewReader(raw))
+	second, err := rewind()
+	if err != nil {
+		return err
+	}
+	return db.loadStream(second)
 }
+
+// loadPasses turns a dump source into two readable passes: seekable
+// sources rewind in place, anything else is buffered once.
+func loadPasses(r io.Reader) (first io.Reader, rewind func() (io.Reader, error), err error) {
+	if s, ok := r.(io.ReadSeeker); ok {
+		start, err := s.Seek(0, io.SeekCurrent)
+		if err == nil {
+			return s, func() (io.Reader, error) {
+				if _, err := s.Seek(start, io.SeekStart); err != nil {
+					return nil, fmt.Errorf("load: rewind for second pass: %w", err)
+				}
+				return s, nil
+			}, nil
+		}
+		// A Seeker that cannot report its position (unseekable file like
+		// a pipe) falls through to buffering.
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bytes.NewReader(raw), func() (io.Reader, error) { return bytes.NewReader(raw), nil }, nil
+}
+
+// loadChunkBytes caps the joined text of one restored --data chunk —
+// one commit, one WAL record — comfortably below wal.MaxRecord so a
+// bulk Load of any size stays recoverable. A var so tests can shrink
+// it.
+var loadChunkBytes = wal.MaxRecord / 4
 
 // loadStream replays a dump stream directly into the database with no
 // staging pass — the shared worker under Load (which validates first)
@@ -250,6 +287,7 @@ func (db *DB) loadStream(r io.Reader) error {
 	section := ""
 	lineNo := 0
 	var data []dataLine
+	dataBytes := 0
 	var lastLSN uint64
 	flush := func() error {
 		lsn, err := db.restoreData(data)
@@ -257,6 +295,7 @@ func (db *DB) loadStream(r io.Reader) error {
 			lastLSN = lsn
 		}
 		data = nil
+		dataBytes = 0
 		return err
 	}
 	for sc.Scan() {
@@ -283,7 +322,16 @@ func (db *DB) loadStream(r io.Reader) error {
 				return &LoadError{Line: lineNo, Err: err}
 			}
 		case "--data":
+			// Flush before the chunk would outgrow the cap, so a chunk
+			// exceeds it only when a single line does (and restoreData
+			// refuses that before applying anything).
+			if dataBytes > 0 && dataBytes+len(line)+1 > loadChunkBytes {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
 			data = append(data, dataLine{no: lineNo, text: line})
+			dataBytes += len(line) + 1
 		default:
 			return &LoadError{Line: lineNo, Err: fmt.Errorf("content outside a section")}
 		}
@@ -303,18 +351,29 @@ type dataLine struct {
 	text string
 }
 
-// restoreData replays the --data records in one write-lock critical
-// section and publishes a single snapshot at the end: the restore is
-// one logical mutation, so a concurrent reader sees either none of the
-// restored data or all of it. The whole section is one WAL record
-// (replay stops at the same first bad line the original run did); the
-// returned LSN is 0 when nothing was logged, and the caller awaits
-// durability outside the lock.
+// restoreData replays one chunk of --data records (loadStream caps
+// chunks at loadChunkBytes) in one write-lock critical section and
+// publishes a single snapshot at the end, so a concurrent reader sees
+// each chunk atomically. The chunk is one WAL record (replay stops at
+// the same first bad line the original run did); the returned LSN is 0
+// when nothing was logged, and the caller awaits durability outside
+// the lock.
 //
 // extra:acquires db.wmu.W
 func (db *DB) restoreData(lines []dataLine) (uint64, error) {
 	if len(lines) == 0 {
 		return 0, nil
+	}
+	// The chunk becomes one WAL record; refuse one the log cannot hold
+	// (a single dump line above the limit) before anything is applied.
+	// Checked even without a WAL so Load's staging pass — a WAL-less
+	// scratch database — fails exactly where the durable pass would.
+	srcLen := len(lines) - 1 // newline joins
+	for _, l := range lines {
+		srcLen += len(l.text)
+	}
+	if srcLen > wal.MaxRecord-64 { // 64 covers the record's framing fields
+		return 0, &LoadError{Line: lines[0].no, Err: fmt.Errorf("%w: %d-byte data line cannot be restored durably (limit %d)", wal.ErrTooLarge, srcLen, wal.MaxRecord)}
 	}
 	db.wmu.Lock()
 	defer db.wmu.Unlock()

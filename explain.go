@@ -201,6 +201,10 @@ func (db *DB) analyzeWrite(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.
 		es := db.exec.NewState()
 		defer es.Release()
 		es.BindLive()
+		rec, rerr := db.stmtRecord(sess, r, nil)
+		if rerr != nil {
+			return rerr
+		}
 		catVer := db.cat.Version()
 		cq, err := sess.checker(nil).CheckRetrieve(r)
 		sum.Check = time.Since(t0) - sum.Parse
@@ -223,7 +227,7 @@ func (db *DB) analyzeWrite(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.
 			err = cerr
 		}
 		var lerr error
-		lsn, lerr = db.logStmt(sess, r, nil, err, published || db.cat.Version() != catVer)
+		lsn, lerr = db.logStmt(rec, err, published || db.cat.Version() != catVer)
 		if lerr != nil && err == nil {
 			err = lerr
 		}

@@ -344,6 +344,14 @@ func (l *Log) Append(r *Record) (uint64, error) {
 		l.mu.Unlock()
 		return 0, err
 	}
+	// An oversize record would be written but rejected as tail garbage
+	// by the next recovery — acknowledged yet unrecoverable. Refuse it
+	// here, before it takes an LSN; the error is not sticky, the record
+	// simply never enters the log.
+	if sz := r.PayloadSize(); sz > MaxRecord {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: %w (payload %d bytes, limit %d)", ErrTooLarge, sz, MaxRecord)
+	}
 	r.LSN = l.nextLSN
 	l.nextLSN++
 	l.buf = appendFrame(l.buf, r)
@@ -380,9 +388,14 @@ func (l *Log) Append(r *Record) (uint64, error) {
 // hand-off on the hot path); committers that find a flush in flight
 // wait for its broadcast, then either observe their LSN durable or
 // become the leader of the next batch — which holds exactly the
-// records that accumulated while the previous fsync ran. The
-// background flusher is only the backstop (Append's signal) for
-// waiters that lose the election race.
+// records that accumulated while the previous fsync ran.
+//
+// fmu is not held only by flushers: TruncateThrough's segment GC and
+// the Syncs counter read take it too, and neither ends in a
+// broadcast. A waiter that loses the TryLock race therefore may not
+// assume the holder will wake it — it signals the background flusher
+// before parking, so some flush (and its broadcast, or its sticky
+// error) is always forthcoming.
 //
 // extra:acquires wal.fmu.W
 // extra:acquires wal.dmu.W
@@ -410,6 +423,15 @@ func (l *Log) WaitDurable(lsn uint64) error {
 		}
 		l.dmu.Lock()
 		if l.durable < lsn && l.syncErr == nil {
+			// The fmu holder may never broadcast (segment GC, stats); make
+			// the flusher responsible for waking us. By this point our
+			// record is in the buffer, so either an in-flight flush snaps a
+			// buffer containing it and broadcasts, or this signal (or the
+			// one already pending) triggers a flush that does.
+			select {
+			case l.flushReq <- struct{}{}:
+			default:
+			}
 			l.cond.Wait()
 		}
 		l.dmu.Unlock()

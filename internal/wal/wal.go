@@ -25,6 +25,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 )
@@ -65,12 +66,48 @@ const (
 	// frameHeader is the per-record framing overhead: u32 payload
 	// length, u32 CRC32 (IEEE) of the payload.
 	frameHeader = 8
-	// maxRecord bounds a single payload; a length field above it is
-	// treated as tail garbage, not an allocation request.
-	maxRecord = 64 << 20
+	// MaxRecord bounds a single payload, enforced on both sides of the
+	// log: Append refuses a larger record (ErrTooLarge), and recovery
+	// treats a length field above it as tail garbage, not an allocation
+	// request. The two must agree — a record the writer accepts but the
+	// reader rejects would be acknowledged yet unrecoverable.
+	MaxRecord = 64 << 20
 
 	flagErred = 1 << 0
 )
+
+// ErrTooLarge reports a record whose payload would exceed MaxRecord.
+// Appending it is refused before it is assigned an LSN; producers of
+// unbounded payloads (bulk loads) must chunk below the limit, and the
+// database layer sizes statement records with PayloadSize before
+// executing the statement so an unloggable mutation is never applied.
+var ErrTooLarge = errors.New("record exceeds the wal payload limit")
+
+// PayloadSize returns an upper bound on the record's serialized
+// payload size (the LSN, unassigned until Append, is counted at its
+// maximum varint width). Callers that build potentially large records
+// compare it against MaxRecord before mutating any state the record
+// is meant to make durable.
+func (r *Record) PayloadSize() int {
+	n := binary.MaxVarintLen64 + 2 // LSN bound + kind + flags
+	n += uvarintLen(uint64(r.Session))
+	n += uvarintLen(uint64(len(r.User))) + len(r.User)
+	n += uvarintLen(uint64(len(r.Src))) + len(r.Src)
+	n += uvarintLen(uint64(len(r.Data)))
+	for _, d := range r.Data {
+		n += uvarintLen(uint64(len(d))) + len(d)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 // appendPayload serializes the record (including its LSN) onto dst.
 func appendPayload(dst []byte, r *Record) []byte {
@@ -177,7 +214,7 @@ func nextFrame(b []byte, wantLSN uint64) (*Record, []byte, error) {
 	}
 	size := binary.BigEndian.Uint32(b)
 	sum := binary.BigEndian.Uint32(b[4:])
-	if size == 0 || size > maxRecord {
+	if size == 0 || size > MaxRecord {
 		return nil, nil, &errTorn{reason: fmt.Sprintf("implausible frame length %d", size)}
 	}
 	if uint32(len(b)-frameHeader) < size {

@@ -1,12 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 func mkRecord(i int) *Record {
@@ -211,6 +213,75 @@ func TestGroupCommitConcurrentAppenders(t *testing.T) {
 		if r.LSN != uint64(i+1) {
 			t.Fatalf("record %d has lsn %d", i, r.LSN)
 		}
+	}
+}
+
+// An oversize record must be refused at Append — were it written, the
+// next recovery would treat its frame as tail garbage, silently
+// truncating an acknowledged commit.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncEach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mkRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	big := &Record{Kind: RecordStmt, User: "dba", Src: string(make([]byte, MaxRecord+1))}
+	if _, err := l.Append(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize append: err = %v, want ErrTooLarge", err)
+	}
+	// The rejection is not sticky and consumed no LSN.
+	lsn, err := l.Append(mkRecord(1))
+	if err != nil || lsn != 2 {
+		t.Fatalf("append after rejection: lsn = %d, err = %v, want lsn 2", lsn, err)
+	}
+	l.Close()
+	got, info, l2 := collect(t, dir, Options{Sync: SyncEach})
+	defer l2.Close()
+	if len(got) != 2 || info.LastLSN != 2 || info.TornBytes != 0 {
+		t.Fatalf("recovered %d records (info %+v), want the 2 accepted ones", len(got), info)
+	}
+}
+
+// A committer whose WaitDurable finds fmu held by something that will
+// never broadcast (TruncateThrough's segment GC, a Syncs poll) must
+// not park forever: it signals the background flusher before waiting.
+func TestWaitDurableNotStrandedByNonFlushingLockHolder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	lsn, err := l.Append(mkRecord(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate TruncateThrough holding the file lock across the whole
+	// window where the committer arrives: TryLock fails, and this holder
+	// will release without flushing or broadcasting.
+	l.fmu.Lock()
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		t.Fatalf("WaitDurable returned (%v) while fmu was held and nothing was durable", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.fmu.Unlock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitDurable: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable still parked after fmu was released: lost wakeup")
+	}
+	if d := l.Durable(); d < lsn {
+		t.Fatalf("durable = %d, want >= %d", d, lsn)
 	}
 }
 

@@ -1,6 +1,7 @@
 package extra
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -239,6 +240,11 @@ func (st *Stmt) writeExec(scope *paramScope, kind string, start time.Time) (*Res
 		runErr = derr
 	}
 	if runErr != nil {
+		// Use-after-close: no trace was begun and the metrics should not
+		// count it as a statement error (see execWrite).
+		if errors.Is(runErr, errDBClosed) {
+			return nil, runErr
+		}
 		db.cErrors.Inc()
 		db.abortTrace(s.id, user, st.src, kind, &tr, start, runErr)
 		return nil, runErr

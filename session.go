@@ -2,6 +2,7 @@ package extra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"strconv"
@@ -229,6 +230,12 @@ func (s *Session) execWrite(stmts []ast.Statement, src, kind string, start time.
 		runErr = derr
 	}
 	if runErr != nil {
+		// Use-after-close is a caller bug, not a commit failure: no
+		// trace was begun, and counting it would conflate it with real
+		// statement errors in the metrics.
+		if errors.Is(runErr, errDBClosed) {
+			return nil, runErr
+		}
 		db.cErrors.Inc()
 		db.abortTrace(s.id, user, src, kind, &tr, start, runErr)
 		return nil, runErr
@@ -261,13 +268,20 @@ func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramSc
 		db.mu.Lock()
 		defer db.mu.Unlock()
 	}
+	// Size the WAL record before running the statement: one the log
+	// cannot hold refuses the statement here, with nothing mutated and
+	// nothing published (the engine has no rollback to undo with).
+	rec, rerr := db.stmtRecord(s, st, params)
+	if rerr != nil {
+		return nil, 0, rerr
+	}
 	catVer := db.cat.Version()
 	r, err := s.runStmt(es, st, params, tr)
 	published, cerr := db.store.Commit()
 	if cerr != nil && err == nil {
 		err = cerr
 	}
-	lsn, lerr := db.logStmt(s, st, params, err, published || db.cat.Version() != catVer)
+	lsn, lerr := db.logStmt(rec, err, published || db.cat.Version() != catVer)
 	if lerr != nil && err == nil {
 		err = lerr
 	}

@@ -251,45 +251,64 @@ func oidFromBytes(b []byte) oid.OID {
 	return oid.OID(n)
 }
 
-// logStmt appends one committed write statement to the WAL. Returns the
-// assigned LSN (0 when nothing was logged); the caller must await
-// durability with waitDurable after releasing the commit lock.
+// stmtRecord builds the WAL record a write statement will be logged
+// as, or nil for statement classes that are never logged. It runs
+// BEFORE the statement executes: the engine has no rollback, so a
+// record the log cannot hold (wal.ErrTooLarge) must refuse the
+// statement while nothing has mutated — logging failures discovered
+// after publication would leave live state the log does not reproduce,
+// and every later record would replay against the wrong state.
 //
 // Policy: read-only statements in a mixed batch touch nothing and are
 // skipped; grant/revoke mutate only the in-memory authorizer, which is
-// session configuration and not durable (consistent with Dump); a
-// statement that failed without publishing a snapshot or moving the
-// catalog left no durable trace and is skipped; everything else is
-// logged — including statements that erred after partial effects
-// (Erred), and statements whose effects live outside the store (range
-// declarations shape later statements' meaning, so replay needs them).
-//
-// extra:requires db.wmu.W
-func (db *DB) logStmt(s *Session, st ast.Statement, params *paramScope, runErr error, effects bool) (uint64, error) {
+// session configuration and not durable (consistent with Dump);
+// everything else is logged — including statements that err after
+// partial effects (Erred), and statements whose effects live outside
+// the store (range declarations shape later statements' meaning, so
+// replay needs them).
+func (db *DB) stmtRecord(s *Session, st ast.Statement, params *paramScope) (*wal.Record, error) {
 	if db.wal == nil || sema.ReadOnly(st) {
-		return 0, nil
+		return nil, nil
 	}
 	switch st.(type) {
 	case *ast.Grant, *ast.Revoke:
-		return 0, nil
-	}
-	if runErr != nil && !effects {
-		return 0, nil
+		return nil, nil
 	}
 	rec := &wal.Record{
 		Kind:    wal.RecordStmt,
 		Session: s.id,
 		User:    s.user,
-		Erred:   runErr != nil,
 		Src:     ast.Print(st),
 	}
 	if params != nil {
 		data, err := encodeParams(params)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		rec.Data = data
 	}
+	if sz := rec.PayloadSize(); sz > wal.MaxRecord {
+		return nil, fmt.Errorf("statement refused: %w (payload %d bytes, limit %d)", wal.ErrTooLarge, sz, wal.MaxRecord)
+	}
+	return rec, nil
+}
+
+// logStmt appends a statement record built by stmtRecord, now that the
+// statement has run. Returns the assigned LSN (0 when nothing was
+// logged); the caller must await durability with waitDurable after
+// releasing the commit lock. A statement that failed without
+// publishing a snapshot or moving the catalog left no durable trace
+// and is skipped.
+//
+// extra:requires db.wmu.W
+func (db *DB) logStmt(rec *wal.Record, runErr error, effects bool) (uint64, error) {
+	if rec == nil {
+		return 0, nil
+	}
+	if runErr != nil && !effects {
+		return 0, nil
+	}
+	rec.Erred = runErr != nil
 	return db.wal.Append(rec)
 }
 

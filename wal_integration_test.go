@@ -2,6 +2,7 @@ package extra
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // dumpOf renders the database to its canonical byte-stable dump.
@@ -482,7 +485,7 @@ func TestLoadIsStagedAndAtomic(t *testing.T) {
 		t.Fatal("Load of corrupt dump succeeded")
 	}
 	var le *LoadError
-	if !errorsAs(loadErr, &le) {
+	if !errors.As(loadErr, &le) {
 		t.Fatalf("Load error is %T (%v), want *LoadError", loadErr, loadErr)
 	}
 	if le.Line <= 0 {
@@ -495,6 +498,84 @@ func TestLoadIsStagedAndAtomic(t *testing.T) {
 	r := dst.MustQuery(`retrieve (P.name) from P in People`)
 	if len(r.Rows) != 1 {
 		t.Fatalf("loaded %d rows, want 1", len(r.Rows))
+	}
+}
+
+// A bulk Load's --data section is chunked into bounded WAL records, so
+// an arbitrarily large dump can never produce a record the next
+// recovery would reject as tail garbage; every chunk replays on
+// reopen.
+func TestWALLoadChunksDataSections(t *testing.T) {
+	old := loadChunkBytes
+	loadChunkBytes = 256
+	defer func() { loadChunkBytes = old }()
+
+	src, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	src.MustExec(walTestSchema)
+	for i := 0; i < 30; i++ {
+		src.MustExec(fmt.Sprintf(`append to People (name = "p%02d", age = %d)`, i, 20+i))
+	}
+	var dump bytes.Buffer
+	if err := src.Dump(&dump); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	db, err := Open(WithWAL(dir), WithWALSync(WALSyncEach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(bytes.NewReader(dump.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := dumpOf(t, db)
+	// The dump's 2 DDL statements log one record each; well above 3
+	// records total proves the data section split into several chunks.
+	if next, _ := db.WALStats(); next-1 < 5 {
+		t.Fatalf("only %d wal records logged; data section did not chunk", next-1)
+	}
+	// No Close: the process "crashes" after the acknowledged Load.
+
+	db2 := reopenWAL(t, dir)
+	defer db2.Close()
+	mustConsistent(t, db2)
+	if got := dumpOf(t, db2); got != want {
+		t.Fatalf("dump after chunked-load recovery differs:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// A statement whose WAL record would exceed wal.MaxRecord is refused
+// before it executes: the engine has no rollback, so an unloggable
+// mutation must never be applied or acknowledged.
+func TestWALOversizeStatementRefusedBeforeMutation(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(WithWAL(dir), WithWALSync(WALSyncEach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec(walTestSchema)
+	st, err := db.Prepare(`append to People (name = $1, age = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(strings.Repeat("x", wal.MaxRecord+1)); !errors.Is(err, wal.ErrTooLarge) {
+		t.Fatalf("oversize exec: err = %v, want wal.ErrTooLarge", err)
+	}
+	if r := db.MustQuery(`retrieve (P.name) from P in People`); len(r.Rows) != 0 {
+		t.Fatalf("refused statement left %d rows behind", len(r.Rows))
+	}
+	// The refusal poisons nothing: the next write commits and recovers.
+	db.MustExec(`append to People (name = "ok", age = 2)`)
+	db2 := reopenWAL(t, dir)
+	defer db2.Close()
+	mustConsistent(t, db2)
+	if r := db2.MustQuery(`retrieve (P.name) from P in People`); len(r.Rows) != 1 {
+		t.Fatalf("recovered %d rows, want 1", len(r.Rows))
 	}
 }
 
@@ -536,20 +617,4 @@ func canonicalDump(dump string) string {
 	}
 	flush()
 	return strings.Join(out, "\n")
-}
-
-// errorsAs avoids importing errors just for one assertion.
-func errorsAs(err error, target *(*LoadError)) bool {
-	for err != nil {
-		if le, ok := err.(*LoadError); ok {
-			*target = le
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
 }
