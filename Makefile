@@ -17,9 +17,12 @@ race:
 
 # extravet enforces the concurrency/determinism contracts documented in
 # DESIGN.md ("Statically enforced invariants"). It needs no tools
-# outside the repo and the standard distribution.
+# outside the repo and the standard distribution. The second pass loads
+# the deadlockcheck build so the analyzers also see the instrumented
+# lock wrappers and the sentinel itself.
 lint: vet
 	$(GO) run ./cmd/extravet ./...
+	$(GO) run ./cmd/extravet -tags deadlockcheck ./...
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +36,11 @@ bench:
 
 # Durability stress: the crash harness (kill-and-reopen rounds under the
 # race detector) plus the WAL torn-tail corpus. EXTRA_CRASH_ROUNDS
-# scales the number of kill cycles.
+# scales the number of kill cycles. The final round runs under the
+# deadlockcheck build tag: the runtime lock-order sentinel panics on any
+# rank inversion the workload provokes.
 crash-stress:
 	$(GO) test -race -count=2 ./internal/wal/ ./internal/storage/
 	EXTRA_CRASH_ROUNDS=12 $(GO) test -race -count=1 -run 'TestCrashRecovery' -v .
+	$(GO) test -tags deadlockcheck -count=1 ./internal/deadlock/
+	EXTRA_CRASH_ROUNDS=2 $(GO) test -tags deadlockcheck -count=1 -run 'TestCrashRecovery' .

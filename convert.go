@@ -65,6 +65,7 @@ func (db *DB) Insert(extent string, attrs Attrs) (Obj, error) {
 // replays through here too (db.wal is nil then, so nothing re-logs).
 //
 // extra:acquires db.wmu.W
+// extra:mutates
 func (db *DB) insertTuple(extent string, tv *value.Tuple) (oid.OID, uint64, error) {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -120,6 +121,7 @@ func (db *DB) SetRef(obj Obj, attr string, target Obj) error {
 // setRefLocked is SetRef's critical section: update, publish, log.
 //
 // extra:acquires db.wmu.W
+// extra:mutates
 func (db *DB) setRefLocked(obj Obj, attr string, target Obj) (uint64, error) {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -137,6 +139,25 @@ func (db *DB) setRefLocked(obj Obj, attr string, target Obj) (uint64, error) {
 	if target.Valid() {
 		nv = value.Ref{OID: target.id, Type: target.typ}
 	}
+	var rec *wal.Record
+	if db.wal != nil {
+		// Build and size the record before touching the store: the
+		// engine has no rollback, so a published write the log cannot
+		// hold would be invisible to recovery.
+		targetOID, targetTyp := []byte(nil), []byte(nil)
+		if target.Valid() {
+			targetOID, targetTyp = oidBytes(target.id), []byte(target.typ)
+		}
+		rec = &wal.Record{
+			Kind: wal.RecordSetRef,
+			User: "dba",
+			Src:  attr,
+			Data: [][]byte{oidBytes(obj.id), []byte(obj.typ), targetOID, targetTyp},
+		}
+		if sz := rec.PayloadSize(); sz > wal.MaxRecord {
+			return 0, fmt.Errorf("setref refused: %w (payload %d bytes, limit %d)", wal.ErrTooLarge, sz, wal.MaxRecord)
+		}
+	}
 	tv.Set(attr, nv)
 	err = db.store.Update(obj.id, tv)
 	published, cerr := db.store.Commit()
@@ -144,19 +165,10 @@ func (db *DB) setRefLocked(obj Obj, attr string, target Obj) (uint64, error) {
 		err = cerr
 	}
 	var lsn uint64
-	if db.wal != nil && (err == nil || published) {
-		targetOID, targetTyp := []byte(nil), []byte(nil)
-		if target.Valid() {
-			targetOID, targetTyp = oidBytes(target.id), []byte(target.typ)
-		}
+	if rec != nil && (err == nil || published) {
+		rec.Erred = err != nil
 		var lerr error
-		lsn, lerr = db.wal.Append(&wal.Record{
-			Kind:  wal.RecordSetRef,
-			User:  "dba",
-			Erred: err != nil,
-			Src:   attr,
-			Data:  [][]byte{oidBytes(obj.id), []byte(obj.typ), targetOID, targetTyp},
-		})
+		lsn, lerr = db.wal.Append(rec)
 		if lerr != nil && err == nil {
 			err = lerr
 		}

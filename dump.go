@@ -34,6 +34,7 @@ import (
 //
 // extra:acquires db.mu.R
 // extra:output
+// extra:snapshot
 func (db *DB) Dump(w io.Writer) error {
 	// Pin window: render the schema sections and pin the data snapshot
 	// under the shared lock, so the DDL text and the exported data agree
@@ -360,6 +361,7 @@ type dataLine struct {
 // the lock.
 //
 // extra:acquires db.wmu.W
+// extra:mutates
 func (db *DB) restoreData(lines []dataLine) (uint64, error) {
 	if len(lines) == 0 {
 		return 0, nil

@@ -27,6 +27,7 @@ type ExplainOutput = algebra.AnalyzeReport
 //
 // extra:acquires db.mu.R
 // extra:output
+// extra:snapshot
 func (db *DB) Explain(src string) (string, error) {
 	st, err := parse.One(src, db.reg)
 	if err != nil {
@@ -143,6 +144,7 @@ func (db *DB) analyze(src string) (*algebra.Plan, algebra.AnalyzeSummary, error)
 // snapshot with no lock held.
 //
 // extra:acquires db.mu.R
+// extra:snapshot
 func (db *DB) analyzeSnapshot(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.Time) (*algebra.Plan, algebra.AnalyzeSummary, error) {
 	sess := db.def
 	if !db.beginPin() {
@@ -186,6 +188,7 @@ func (db *DB) analyzeSnapshot(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 ti
 //
 // extra:acquires db.wmu.W
 // extra:acquires db.mu.W
+// extra:mutates
 func (db *DB) analyzeWrite(r *ast.Retrieve, sum algebra.AnalyzeSummary, t0 time.Time) (*algebra.Plan, algebra.AnalyzeSummary, error) {
 	sess := db.def
 	var plan *algebra.Plan

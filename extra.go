@@ -51,6 +51,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/authz"
 	"repro/internal/catalog"
+	"repro/internal/deadlock"
 	"repro/internal/excess/sema"
 	"repro/internal/exec"
 	"repro/internal/metrics"
@@ -113,15 +114,17 @@ type MetricsSnapshot = metrics.Snapshot
 type DB struct {
 	// wmu is the commit lock: every write statement batch holds it for
 	// the batch's duration, mutating the live store and publishing a
-	// snapshot per statement. Lock order: wmu before mu, always.
-	wmu sync.Mutex // extra:lock db.wmu
+	// snapshot per statement. Lock order: wmu before mu, always —
+	// enforced at runtime under `-tags deadlockcheck` by the
+	// internal/deadlock sentinel the wrapper type carries.
+	wmu deadlock.Mutex // extra:lock db.wmu
 	// mu guards the narrow coherence windows that remain after MVCC:
 	// the closed flag, read statements' snapshot-pin + plan windows
 	// (shared), and DDL's catalog-mutation + commit window (exclusive),
 	// so a pinned reader never plans against a catalog newer than its
 	// snapshot. It is held for the pin window only — never across read
 	// execution.
-	mu    sync.RWMutex // extra:lock db.mu
+	mu    deadlock.RWMutex // extra:lock db.mu
 	reg   *adt.Registry
 	cat   *catalog.Catalog
 	pool  *storage.BufferPool
@@ -266,6 +269,8 @@ func open(cfg config, reg *adt.Registry) (*DB, error) {
 
 		tracer: trace.NewTracer(cfg.traceEvery, cfg.traceCap),
 	}
+	db.wmu.SetName("db.wmu")
+	db.mu.SetName("db.mu")
 	db.exec.SetMetrics(mreg)
 	db.def = &Session{db: db, id: 0, user: "dba", sem: sema.NewSession()}
 	if cfg.walDir != "" {

@@ -1,0 +1,90 @@
+package deadlock
+
+import (
+	"sync"
+	"testing"
+)
+
+// The untagged wrappers must behave exactly like sync primitives; the
+// tagged build layers order checking on top (sentinel_test.go). Both
+// builds run this file: basic mutual exclusion, sync.Cond compatibility
+// through the Locker interface, and Try* semantics.
+
+func TestMutexBasics(t *testing.T) {
+	var m Mutex
+	m.SetName("db.wmu")
+	m.Lock()
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded while held")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed while free")
+	}
+	m.Unlock()
+}
+
+func TestRWMutexBasics(t *testing.T) {
+	var m RWMutex
+	m.SetName("db.mu")
+	m.RLock()
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded under a reader")
+	}
+	m.RUnlock()
+	if !m.TryRLock() {
+		t.Fatal("TryRLock failed while free")
+	}
+	m.RUnlock()
+	m.Lock()
+	m.Unlock()
+}
+
+func TestCondCompat(t *testing.T) {
+	var m Mutex
+	m.SetName("wal.dmu")
+	cond := sync.NewCond(&m)
+	woken := false
+	m.Lock()
+	go func() {
+		m.Lock()
+		woken = true
+		cond.Signal()
+		m.Unlock()
+	}()
+	for !woken {
+		cond.Wait()
+	}
+	m.Unlock()
+}
+
+func TestOrderedAcquisitionAllowed(t *testing.T) {
+	// The engine's full chain in rank order must never trip the
+	// sentinel; this is the "reports clean" baseline the tagged CI job
+	// relies on.
+	var wmu Mutex
+	var mu RWMutex
+	var fmu, wmu2, dmu Mutex
+	wmu.SetName("db.wmu")
+	mu.SetName("db.mu")
+	fmu.SetName("wal.fmu")
+	wmu2.SetName("wal.mu")
+	dmu.SetName("wal.dmu")
+
+	wmu.Lock()
+	mu.Lock()
+	fmu.Lock()
+	wmu2.Lock()
+	dmu.Lock()
+	dmu.Unlock()
+	wmu2.Unlock()
+	fmu.Unlock()
+	mu.Unlock()
+	wmu.Unlock()
+
+	// Shared pins are part of the order too.
+	wmu.Lock()
+	mu.RLock()
+	mu.RUnlock()
+	wmu.Unlock()
+}

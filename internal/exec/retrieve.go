@@ -114,7 +114,7 @@ func (ex *State) RetrievePlan(cq *sema.CheckedRetrieve, plan *algebra.Plan) (*Re
 		// A retrieve with an into clause is write-classified by
 		// sema.ReadOnly, so the dispatcher took the exclusive lock; the
 		// checker cannot see through the Into guard.
-		//extravet:ignore lockcheck (into-retrieves run under the exclusive statement lock)
+		//extravet:ignore lockcheck snapcheck (into-retrieves run under the exclusive statement lock)
 		if err := ex.materializeInto(cq, res); err != nil {
 			return nil, err
 		}

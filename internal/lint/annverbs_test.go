@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every extra: verb the annotation parser understands must be consumed
+// by at least one analyzer — an orphaned verb is vocabulary rot: code
+// carries an annotation that silently checks nothing. The test parses
+// parseAnnotations' switch to recover the verb → Annotations-field
+// mapping, then requires each field to be read (as Ann.<Field>) in some
+// analyzer file other than lint.go itself.
+func TestAnnotationVerbsAllConsumed(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "lint.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// verb -> Annotations field assigned in its case body.
+	verbField := map[string]string{}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "parseAnnotations" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			var verbs []string
+			for _, e := range cc.List {
+				if lit, ok := e.(*ast.BasicLit); ok {
+					verbs = append(verbs, strings.Trim(lit.Value, `"`))
+				}
+			}
+			var field string
+			ast.Inspect(&ast.BlockStmt{List: cc.Body}, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && field == "" {
+					if sel, ok := as.Lhs[0].(*ast.SelectorExpr); ok {
+						field = sel.Sel.Name
+					}
+				}
+				return true
+			})
+			for _, v := range verbs {
+				verbField[v] = field
+			}
+			return true
+		})
+	}
+	if len(verbField) == 0 {
+		t.Fatal("found no verbs in parseAnnotations; did the parser move?")
+	}
+
+	// Collect Ann.<Field> reads from every other file in the package.
+	consumed := map[string]bool{}
+	use := regexp.MustCompile(`\bAnn\.([A-Z][A-Za-z]*)`)
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "lint.go" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(".", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range use.FindAllStringSubmatch(string(src), -1) {
+			consumed[m[1]] = true
+		}
+	}
+
+	for verb, field := range verbField {
+		if field == "" {
+			t.Errorf("verb extra:%s: could not find the Annotations field it sets", verb)
+			continue
+		}
+		if !consumed[field] {
+			t.Errorf("verb extra:%s sets Annotations.%s, but no analyzer reads Ann.%s — dead vocabulary", verb, field, field)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package spanleak is an extravet fixture for the pairing discipline of
+// recycled resources: trace spans (StartSpan/StartSpanAt/StartPhase
+// paired with EndSpan/EndPhase) and sync.Pool objects (Get paired with
+// Put). The accept shapes cover inline pairing, deferred release,
+// deferred-closure release, handoff by return and store-away; the
+// reject shapes are the early error return, the discarded acquire and
+// falling off the end of the function.
+package spanleak
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+type Span struct{ name string }
+
+type Tracer struct{ active []*Span }
+
+func (t *Tracer) StartSpan(name string) *Span {
+	s := &Span{name: name}
+	t.active = append(t.active, s)
+	return s
+}
+
+func (t *Tracer) StartSpanAt(name string, _ time.Time) *Span { return t.StartSpan(name) }
+
+func (t *Tracer) StartPhase(name string) *Span { return t.StartSpan(name) }
+
+func (t *Tracer) EndSpan(s *Span) {
+	for i, a := range t.active {
+		if a == s {
+			t.active = append(t.active[:i], t.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func (t *Tracer) EndPhase(s *Span) { t.EndSpan(s) }
+
+var errFail = errors.New("fail")
+
+func work(*Span)    {}
+func consume([]byte) {}
+
+// goodPaired starts and finishes inline.
+func goodPaired(t *Tracer) {
+	s := t.StartSpan("paired")
+	work(s)
+	t.EndSpan(s)
+}
+
+// goodDeferred finishes via defer, so every return path is covered.
+func goodDeferred(t *Tracer, fail bool) error {
+	s := t.StartSpanAt("deferred", time.Time{})
+	defer t.EndSpan(s)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// goodDeferredClosure releases through a deferred closure (the cleanup
+// idiom); the closure's release counts for this function.
+func goodDeferredClosure(t *Tracer) {
+	s := t.StartPhase("closure")
+	defer func() { t.EndPhase(s) }()
+	work(s)
+}
+
+// goodHandoff returns the span: the obligation moves to the caller.
+func goodHandoff(t *Tracer) *Span {
+	s := t.StartSpan("handoff")
+	return s
+}
+
+type frame struct{ span *Span }
+
+// goodStoreAway parks the span in a structure that outlives the call;
+// whoever owns the frame owns the finish.
+func goodStoreAway(t *Tracer, f *frame) {
+	s := t.StartSpan("stored")
+	f.span = s
+}
+
+// badEarlyReturn leaks on the error path: the span outlives the return
+// with no deferred finish scheduled.
+func badEarlyReturn(t *Tracer, fail bool) error {
+	s := t.StartSpan("leaky")
+	if fail {
+		return errFail // want `returns while the span from .* is unfinished`
+	}
+	t.EndSpan(s)
+	return nil
+}
+
+// badDiscard drops the span on the floor at the call site.
+func badDiscard(t *Tracer) {
+	t.StartSpan("dropped") // want `discards the span returned by StartSpan`
+}
+
+// badBlankDiscard binds the span to the blank identifier.
+func badBlankDiscard(t *Tracer) {
+	_ = t.StartPhase("blank") // want `discards the phase returned by StartPhase`
+}
+
+// badFallsOff never finishes the span on the implicit return.
+func badFallsOff(t *Tracer) {
+	s := t.StartSpan("open")
+	work(s)
+} // want `falls off the end while the span from .* is unfinished`
+
+var bufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// goodPool pairs Get with a deferred Put.
+func goodPool() {
+	v := bufPool.Get().([]byte)
+	defer bufPool.Put(v)
+	consume(v)
+}
+
+// goodPoolHandoff returns the pooled object to the caller.
+func goodPoolHandoff() []byte {
+	v := bufPool.Get().([]byte)
+	return v
+}
+
+// badPoolDiscard defeats the pool: the object can never come back.
+func badPoolDiscard() {
+	bufPool.Get() // want `discards the pooled object returned by Get`
+}
+
+// badPoolLeak takes an object and falls off the end without Put.
+func badPoolLeak() {
+	v := bufPool.Get().([]byte)
+	consume(v)
+} // want `falls off the end while the pooled object from .* is unfinished`

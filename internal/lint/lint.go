@@ -15,7 +15,19 @@
 //     map without establishing an order;
 //   - verbump: every mutation of stored object/tuple state must be
 //     paired with a Store.Version bump, so deref caches can never serve
-//     stale data silently.
+//     stale data silently;
+//   - walcheck: every function that publishes store state (calls
+//     Store.Commit) must be annotated extra:mutates, must transitively
+//     reach a WAL append (an extra:logs function), and must size its
+//     record against wal.MaxRecord before the first mutation — the
+//     no-rollback contract of DESIGN.md §13;
+//   - snapcheck: functions annotated extra:snapshot open a pinned-read
+//     window; nothing reachable from them may mutate the store, acquire
+//     the commit lock (or the statement lock exclusively), or read the
+//     live store instead of the bound snapshot;
+//   - spanleak: trace span Start and sync.Pool Get must be paired with
+//     EndSpan/EndPhase/Put on every return path, protecting the
+//     zero-alloc tracing substrate and the executor pools.
 //
 // Analyzers run over a whole Program (every package of the main module
 // in the dependency closure of the requested patterns), so facts like
@@ -30,6 +42,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant checker.
@@ -96,6 +109,9 @@ type Annotations struct {
 	Bumps    bool     // extra:bumps — guarantees a store-version bump
 	Output   bool     // extra:output — root of a user-visible output path
 	Dispatch []string // extra:dispatch <lock> <classifier> — stmt dispatch
+	Logs     bool     // extra:logs — sizes and/or appends the WAL record
+	Mutates  bool     // extra:mutates — publishes store state (Store.Commit)
+	Snapshot bool     // extra:snapshot — root of a pinned-read window
 }
 
 // parseAnnotations extracts extra: markers from a comment group.
@@ -125,6 +141,12 @@ func parseAnnotations(doc *ast.CommentGroup) Annotations {
 			a.Output = true
 		case "dispatch":
 			a.Dispatch = args
+		case "logs":
+			a.Logs = true
+		case "mutates":
+			a.Mutates = true
+		case "snapshot":
+			a.Snapshot = true
 		}
 	}
 	return a
@@ -260,12 +282,20 @@ func Transitive(g map[*types.Func][]*types.Func, hits func(*types.Func) bool) ma
 	return out
 }
 
+// AnalyzerTime is the wall time one analyzer took over the program,
+// for the CI budget report.
+type AnalyzerTime struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes the analyzers over the program, reporting diagnostics
 // whose position lies in one of the packages matched by reportPaths
 // (all loaded packages when reportPaths is nil). Diagnostics suppressed
 // with a "//extravet:ignore <name>" comment on the same or preceding
-// line are dropped. Results come back sorted by position.
-func Run(prog *Program, analyzers []*Analyzer, reportPaths []string) []Diagnostic {
+// line are dropped. Results come back sorted by file, line and column,
+// with per-analyzer wall times alongside.
+func Run(prog *Program, analyzers []*Analyzer, reportPaths []string) ([]Diagnostic, []AnalyzerTime) {
 	reportAll := reportPaths == nil
 	report := make(map[string]bool, len(reportPaths))
 	for _, p := range reportPaths {
@@ -307,8 +337,10 @@ func Run(prog *Program, analyzers []*Analyzer, reportPaths []string) []Diagnosti
 		}
 	}
 	var out []Diagnostic
+	var times []AnalyzerTime
 	seen := map[string]bool{}
 	for _, a := range analyzers {
+		start := time.Now()
 		pass := &Pass{
 			Prog: prog,
 			Name: a.Name,
@@ -335,6 +367,7 @@ func Run(prog *Program, analyzers []*Analyzer, reportPaths []string) []Diagnosti
 			},
 		}
 		a.Run(pass)
+		times = append(times, AnalyzerTime{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := prog.Fset.Position(out[i].Pos), prog.Fset.Position(out[j].Pos)
@@ -344,12 +377,15 @@ func Run(prog *Program, analyzers []*Analyzer, reportPaths []string) []Diagnosti
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
 		return out[i].Message < out[j].Message
 	})
-	return out
+	return out, times
 }
 
 // Analyzers returns the full extravet suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, AtomicCheck, DetOrder, VerBump}
+	return []*Analyzer{LockCheck, AtomicCheck, DetOrder, VerBump, WalCheck, SnapCheck, SpanLeak}
 }

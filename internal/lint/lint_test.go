@@ -27,3 +27,15 @@ func TestDetOrder(t *testing.T) {
 func TestVerBump(t *testing.T) {
 	linttest.Run(t, ".", "./fixtures/verbump", lint.VerBump)
 }
+
+func TestWalCheck(t *testing.T) {
+	linttest.Run(t, ".", "./fixtures/walcheck", lint.WalCheck)
+}
+
+func TestSnapCheck(t *testing.T) {
+	linttest.Run(t, ".", "./fixtures/snapcheck", lint.SnapCheck)
+}
+
+func TestSpanLeak(t *testing.T) {
+	linttest.Run(t, ".", "./fixtures/spanleak", lint.SpanLeak)
+}

@@ -69,7 +69,7 @@ func Run(t *testing.T, dir, pattern string, analyzers ...*lint.Analyzer) {
 		}
 	}
 
-	diags := lint.Run(res.Prog, analyzers, res.Matched)
+	diags, _ := lint.Run(res.Prog, analyzers, res.Matched)
 	for _, d := range diags {
 		pos := res.Prog.Fset.Position(d.Pos)
 		found := false

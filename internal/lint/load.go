@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -35,6 +36,10 @@ type listedPkg struct {
 type LoadResult struct {
 	Prog    *Program
 	Matched []string // import paths matched by the patterns
+	// Warnings are non-fatal loader complaints (a dependency `go list`
+	// could not fully resolve, for example). They are advisory: extravet
+	// prints them to stderr but they never affect the exit status.
+	Warnings []string
 }
 
 // Load type-checks the packages matched by patterns (relative to dir)
@@ -42,17 +47,26 @@ type LoadResult struct {
 // packages are loaded from source so analyzers see function bodies
 // across package boundaries; everything else (the standard library) is
 // imported from `go list -export` export data, which works offline.
-func Load(dir string, patterns []string) (*LoadResult, error) {
+//
+// Build tags passed in tags are forwarded to `go list` (and so to the
+// file sets it returns), which is how the deadlockcheck-tagged sentinel
+// sources become analyzable: without the tag go list silently drops
+// them from GoFiles.
+func Load(dir string, patterns []string, tags ...string) (*LoadResult, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	var tagArgs []string
+	if len(tags) > 0 {
+		tagArgs = []string{"-tags", strings.Join(tags, ",")}
+	}
 	// One invocation for the full dependency closure with export data,
 	// one for the pattern match set.
-	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	deps, err := goList(dir, append(append(append([]string{}, tagArgs...), "-deps", "-export"), patterns...))
 	if err != nil {
 		return nil, err
 	}
-	matched, err := goList(dir, patterns)
+	matched, err := goList(dir, append(append([]string{}, tagArgs...), patterns...))
 	if err != nil {
 		return nil, err
 	}
@@ -76,10 +90,23 @@ func Load(dir string, patterns []string) (*LoadResult, error) {
 		}),
 	}
 
+	matchedSet := make(map[string]bool, len(matched))
+	for _, p := range matched {
+		matchedSet[p.ImportPath] = true
+	}
+
+	res := &LoadResult{}
 	prog := &Program{Fset: fset}
 	for _, p := range deps { // dependency order: dependencies first
 		if p.Error != nil {
-			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+			// A broken package the user asked about is fatal; a broken
+			// dependency is a warning (the typecheck below fails loudly
+			// anyway if the dependency was actually needed).
+			if matchedSet[p.ImportPath] {
+				return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+			}
+			res.Warnings = append(res.Warnings, fmt.Sprintf("load %s: %s", p.ImportPath, p.Error.Err))
+			continue
 		}
 		if !inMainModule(p) {
 			continue
@@ -113,7 +140,7 @@ func Load(dir string, patterns []string) (*LoadResult, error) {
 		})
 	}
 
-	res := &LoadResult{Prog: prog}
+	res.Prog = prog
 	for _, p := range matched {
 		res.Matched = append(res.Matched, p.ImportPath)
 	}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// The loader must honor build tags: the deadlockcheck sentinel only
+// exists under its tag, and the tagged CI lint pass can only see the
+// instrumented lock wrappers if -tags reaches `go list`.
+func TestLoadHonorsBuildTags(t *testing.T) {
+	has := func(tags []string, name string) bool {
+		t.Helper()
+		res, err := lint.Load("../..", []string{"./internal/deadlock"}, tags...)
+		if err != nil {
+			t.Fatalf("load with tags %v: %v", tags, err)
+		}
+		for obj := range res.Prog.Funcs() {
+			if obj.Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	if has(nil, "beforeAcquire") {
+		t.Fatal("untagged load saw the deadlockcheck-only sentinel")
+	}
+	if !has([]string{"deadlockcheck"}, "beforeAcquire") {
+		t.Fatal("tagged load did not see the deadlockcheck sentinel; -tags is not reaching go list")
+	}
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SpanLeak enforces the pairing discipline of the engine's two
+// recycled-resource families:
+//
+//   - trace spans: a value obtained from StartSpan/StartSpanAt/
+//     StartPhase must reach EndSpan/EndPhase before every return —
+//     an unfinished span survives in the statement's Active buffer and
+//     skews the started/finished leak counters PR 6 added by hand;
+//   - sync.Pool objects: a value obtained from Pool.Get must reach
+//     Pool.Put (or escape to the caller) — a dropped object silently
+//     defeats the zero-alloc contract under load.
+//
+// The analysis is the suite's usual source-order approximation rather
+// than a true CFG: per tracked variable it orders acquire events
+// (assignment from a Start/Get call), release events (the variable
+// passed to EndSpan/EndPhase/Put, including inside deferred calls and
+// deferred closures) and handoffs (the variable returned or stored
+// away, which transfers the obligation to whoever receives it), then
+// reports any variable still held at a return statement — the early
+// error return between Start and End is exactly the leak shape. A
+// Start/Get whose result is discarded outright is reported at the
+// call. Function literals are separate analysis units: their returns
+// only discharge their own acquisitions, but a release they perform on
+// an outer variable (the deferred-cleanup closure idiom) still counts
+// for the enclosing function.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "trace span Start and sync.Pool Get must be paired with End/Put on every return path",
+	Run:  runSpanLeak,
+}
+
+var spanStarts = map[string]string{
+	"StartSpan": "span", "StartSpanAt": "span", "StartPhase": "phase",
+}
+var spanEnds = map[string]bool{"EndSpan": true, "EndPhase": true}
+
+func runSpanLeak(pass *Pass) {
+	for _, fi := range pass.Prog.Funcs() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		checkLeakUnit(pass, fi.Pkg.Info, fi.Obj.Name(), fi.Decl.Body, fi.Decl.Type.Results)
+	}
+}
+
+// leakEvent is one change to a tracked resource's state.
+type leakEvent struct {
+	pos  token.Pos
+	kind int // 0 acquire, 1 release, 2 deferred release
+	what string
+}
+
+const (
+	evAcquire = 0
+	evRelease = 1
+	evDefer   = 2
+)
+
+// checkLeakUnit analyzes one function (or function literal) body.
+// Nested literals are queued as their own units; their bodies still
+// contribute release events to this unit (callback and deferred-closure
+// cleanup), but not acquires or returns.
+func checkLeakUnit(pass *Pass, info *types.Info, name string, body *ast.BlockStmt, results *ast.FieldList) {
+	events := map[types.Object][]leakEvent{}
+
+	// isAcquire classifies a call expression; what is "" when it is not
+	// an acquire.
+	isAcquire := func(call *ast.CallExpr) string {
+		f := StaticCallee(info, call)
+		if f == nil {
+			return ""
+		}
+		if w, ok := spanStarts[f.Name()]; ok {
+			return w
+		}
+		if f.Name() == "Get" && isPoolMethod(f) {
+			return "pooled object"
+		}
+		return ""
+	}
+	// acquireIn unwraps the value-producing expression of an assignment
+	// right-hand side down to an acquire call (type assertions on
+	// Pool.Get results included).
+	acquireIn := func(e ast.Expr) (*ast.CallExpr, string) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.TypeAssertExpr:
+				e = x.X
+			case *ast.CallExpr:
+				if w := isAcquire(x); w != "" {
+					return x, w
+				}
+				return nil, ""
+			default:
+				return nil, ""
+			}
+		}
+	}
+
+	var nested []*ast.FuncLit
+	deferredCalls := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferredCalls[lit] = true
+			}
+		}
+		return true
+	})
+
+	// inDeferredClosure reports whether a release inside a function
+	// literal runs at unit exit (the literal is the operand of a defer).
+	record := func(obj types.Object, ev leakEvent) {
+		events[obj] = append(events[obj], ev)
+	}
+
+	var returns []*ast.ReturnStmt
+	var walk func(n ast.Node, inLit, litDeferred bool)
+	walk = func(root ast.Node, inLit, litDeferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x.Pos() == root.Pos() {
+					return true // the literal we were asked to walk
+				}
+				nested = append(nested, x)
+				walk(x.Body, true, litDeferred || deferredCalls[x])
+				return false
+			case *ast.AssignStmt:
+				// A tracked resource appearing on a right-hand side is an
+				// alias or a store-away: the obligation moves with the
+				// value (s := v.(*State); x.span = sp), so the original
+				// binding is released here.
+				for _, rhs := range x.Rhs {
+					if c, _ := acquireIn(rhs); c != nil {
+						continue // the acquire itself, handled below
+					}
+					ast.Inspect(rhs, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok {
+							if obj := objOf(info, id); obj != nil {
+								record(obj, leakEvent{x.Pos(), evRelease, ""})
+							}
+						}
+						return true
+					})
+				}
+				for i, rhs := range x.Rhs {
+					call, what := acquireIn(rhs)
+					if call == nil {
+						continue
+					}
+					if inLit {
+						continue // the literal's own unit tracks it
+					}
+					var lhs ast.Expr
+					if len(x.Lhs) == len(x.Rhs) {
+						lhs = x.Lhs[i]
+					} else if i == 0 {
+						lhs = x.Lhs[0]
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue // stored straight into a structure: handoff
+					}
+					if id.Name == "_" {
+						pass.Reportf(call.Pos(), "%s discards the %s returned by %s; it can never be finished or returned to the pool", name, what, calleeName(info, call))
+						continue
+					}
+					obj := objOf(info, id)
+					if obj != nil {
+						record(obj, leakEvent{call.Pos(), evAcquire, what})
+					}
+				}
+			case *ast.ExprStmt:
+				if call, what := acquireIn(x.X); call != nil && !inLit {
+					pass.Reportf(call.Pos(), "%s discards the %s returned by %s; it can never be finished or returned to the pool", name, what, calleeName(info, call))
+				}
+			case *ast.CallExpr:
+				f := StaticCallee(info, x)
+				if f == nil {
+					return true
+				}
+				if !spanEnds[f.Name()] && !(f.Name() == "Put" && isPoolMethod(f)) {
+					return true
+				}
+				kind := evRelease
+				if deferredCalls[x] || litDeferred {
+					kind = evDefer
+				}
+				for _, arg := range x.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil {
+							record(obj, leakEvent{x.Pos(), kind, ""})
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if !inLit {
+					returns = append(returns, x)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false, false)
+
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+
+	// heldAt reports whether obj is held just before pos: its last
+	// event before pos is an acquire with no deferred release scheduled
+	// after it.
+	heldAt := func(evs []leakEvent, pos token.Pos) (leakEvent, bool) {
+		var last leakEvent
+		lastSet := false
+		deferAfter := token.NoPos
+		for _, ev := range evs {
+			if ev.pos >= pos {
+				break
+			}
+			if ev.kind == evDefer {
+				deferAfter = ev.pos
+				continue
+			}
+			last, lastSet = ev, true
+		}
+		if !lastSet || last.kind != evAcquire {
+			return leakEvent{}, false
+		}
+		if deferAfter.IsValid() && deferAfter > last.pos {
+			return leakEvent{}, false
+		}
+		return last, true
+	}
+
+	check := func(pos token.Pos, handoff map[types.Object]bool, where string) {
+		for obj, evs := range events {
+			if handoff[obj] {
+				continue
+			}
+			if acq, held := heldAt(evs, pos); held {
+				pass.Reportf(pos, "%s %s while the %s from %s is unfinished; release it with End/Put (or defer) on this path too", name, where, acq.what, pass.Prog.Fset.Position(acq.pos))
+			}
+		}
+	}
+
+	for _, ret := range returns {
+		// Returning the resource hands the obligation to the caller.
+		handoff := map[types.Object]bool{}
+		for _, e := range ret.Results {
+			ast.Inspect(e, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						handoff[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		check(ret.Pos(), handoff, "returns")
+	}
+	// A function without results can fall off the end of its body.
+	if results == nil || len(results.List) == 0 {
+		if n := len(body.List); n == 0 || !isTerminal(body.List[n-1]) {
+			check(body.End(), nil, "falls off the end")
+		}
+	}
+
+	for _, lit := range nested {
+		checkLeakUnit(pass, info, name+" (func literal)", lit.Body, lit.Type.Results)
+	}
+}
+
+// isTerminal reports whether a function body's last statement already
+// transfers control (so there is no implicit fallthrough return to
+// check).
+func isTerminal(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil // for {} never falls through
+	}
+	return false
+}
+
+func isPoolMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := StaticCallee(info, call); f != nil {
+		return f.Name()
+	}
+	return "the call"
+}

@@ -64,7 +64,7 @@ func runVerBump(pass *Pass) {
 			continue
 		}
 		mut, bump := scanStoreAccess(fi, stores)
-		if mut {
+		if len(mut) > 0 {
 			directMut[obj] = true
 		}
 		if bump {
@@ -145,12 +145,12 @@ func isStoreType(t types.Type, stores map[*types.Named]bool) bool {
 	return n != nil && stores[n]
 }
 
-// scanStoreAccess walks one function body and reports whether it
-// directly mutates store state and whether it directly bumps a store
-// version. Locals that alias store internals (lookups from store maps,
-// s := db.store rebindings) are tracked so writes through them count;
-// stores constructed locally are exempt.
-func scanStoreAccess(fi *FuncInfo, stores map[*types.Named]bool) (mutates, bumps bool) {
+// scanStoreAccess walks one function body and reports the positions
+// where it directly mutates store state and whether it directly bumps a
+// store version. Locals that alias store internals (lookups from store
+// maps, s := db.store rebindings) are tracked so writes through them
+// count; stores constructed locally are exempt.
+func scanStoreAccess(fi *FuncInfo, stores map[*types.Named]bool) (mutates []token.Pos, bumps bool) {
 	info := fi.Pkg.Info
 
 	local := map[types.Object]bool{}   // defined in this body, not store-derived
@@ -232,7 +232,7 @@ func scanStoreAccess(fi *FuncInfo, stores map[*types.Named]bool) (mutates, bumps
 					continue // rebinding a local, not a store write
 				}
 				if storeRooted(lhs) {
-					mutates = true
+					mutates = append(mutates, lhs.Pos())
 				}
 			}
 		case *ast.RangeStmt:
@@ -242,12 +242,12 @@ func scanStoreAccess(fi *FuncInfo, stores map[*types.Named]bool) (mutates, bumps
 			}
 		case *ast.IncDecStmt:
 			if _, isIdent := ast.Unparen(x.X).(*ast.Ident); !isIdent && storeRooted(x.X) {
-				mutates = true
+				mutates = append(mutates, x.Pos())
 			}
 		case *ast.CallExpr:
 			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
 				if storeRooted(x.Args[0]) {
-					mutates = true
+					mutates = append(mutates, x.Pos())
 				}
 				return true
 			}
@@ -271,7 +271,7 @@ func scanStoreAccess(fi *FuncInfo, stores map[*types.Named]bool) (mutates, bumps
 					// Only method calls (field-val receivers), not calls
 					// to store-typed function fields.
 					if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
-						mutates = true
+						mutates = append(mutates, x.Pos())
 					}
 				}
 			}

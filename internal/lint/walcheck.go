@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WalCheck mechanizes the WAL no-rollback contract (DESIGN.md §13):
+// once a statement has mutated the store there is no undo, so anything
+// that could make the engine refuse to log the mutation — above all an
+// oversize record — must be decided before the first mutation runs, and
+// every path that publishes store state must actually reach the log.
+// PR 9's review fixed exactly this class by hand (records sized after
+// the insert they described); walcheck turns it into a build failure.
+//
+// Two annotations carry the contract across the call graph:
+//
+//   - "// extra:mutates" marks a publication point: a function that
+//     mutates store state and publishes it with Store.Commit (the
+//     atomic snapshot swap). Every direct caller of Commit must carry
+//     the annotation — that is how new write paths opt in.
+//   - "// extra:logs" marks the WAL plumbing: a function that builds,
+//     sizes or appends the statement's record (stmtRecord, logStmt,
+//     wal.Log.Append).
+//
+// The analyzer then checks, per publication point:
+//
+//  1. coverage — a function calling Commit without extra:mutates is
+//     reported at the Commit call;
+//  2. reach — an extra:mutates function must transitively call an
+//     extra:logs function, so the publication cannot silently skip the
+//     log;
+//  3. ordering — in the publication's body, a sizing event (a mention
+//     of the wal.MaxRecord limit, a PayloadSize call, or a call into
+//     extra:logs plumbing) must precede, in source order, the first
+//     call that transitively mutates store state;
+//  4. hygiene — a stale extra:mutates (never reaches Commit) or
+//     extra:logs (never sizes a record) annotation is itself an error,
+//     so the vocabulary cannot rot.
+//
+// Like the rest of the suite the analysis is flow-approximate (source
+// order, not CFG paths): good enough to catch the bug class, simple
+// enough to stay honest.
+var WalCheck = &Analyzer{
+	Name: "walcheck",
+	Doc:  "store publications must size their WAL record before mutating and must reach an append",
+	Run:  runWalCheck,
+}
+
+func runWalCheck(pass *Pass) {
+	prog := pass.Prog
+	stores := storeTypes(prog)
+	if len(stores) == 0 {
+		return
+	}
+	funcs := prog.Funcs()
+	graph := prog.CallGraph()
+
+	// Whole-program facts.
+	directMut := map[*types.Func][]token.Pos{}
+	directCommit := map[*types.Func][]token.Pos{}
+	for obj, fi := range funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		mut, _ := scanStoreAccess(fi, stores)
+		if len(mut) > 0 {
+			directMut[obj] = mut
+		}
+		if pos := commitCalls(fi, stores); len(pos) > 0 {
+			directCommit[obj] = pos
+		}
+	}
+	mutates := Transitive(graph, func(f *types.Func) bool { return len(directMut[f]) > 0 })
+	commits := Transitive(graph, func(f *types.Func) bool { return len(directCommit[f]) > 0 })
+	logs := Transitive(graph, func(f *types.Func) bool {
+		fi := funcs[f]
+		return fi != nil && fi.Ann.Logs
+	})
+	// sizes: the function (or something it calls) compares a record
+	// against wal.MaxRecord or measures it with PayloadSize.
+	sizes := Transitive(graph, func(f *types.Func) bool {
+		fi := funcs[f]
+		return fi != nil && fi.Decl.Body != nil && firstSizingMention(fi).IsValid()
+	})
+
+	for obj, fi := range funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		// (1) coverage: publication points must be annotated.
+		if pos := directCommit[obj]; len(pos) > 0 && !fi.Ann.Mutates {
+			pass.Reportf(pos[0], "%s publishes store state with Commit but is not annotated extra:mutates; walcheck cannot verify its WAL ordering", obj.Name())
+		}
+		// (4) hygiene: extra:logs must actually size or append a record —
+		// a direct MaxRecord/PayloadSize mention somewhere below it, or a
+		// delegation to other extra:logs plumbing. (logs[obj] is useless
+		// here: Transitive seeds include themselves.)
+		if fi.Ann.Logs && !sizes[obj] && !delegatesToLogs(fi, funcs, obj) {
+			pass.Reportf(fi.Decl.Pos(), "%s is annotated extra:logs but never sizes a record against MaxRecord/PayloadSize nor reaches WAL plumbing; drop or fix the annotation", obj.Name())
+		}
+		if !fi.Ann.Mutates {
+			continue
+		}
+		// (4) hygiene: extra:mutates must actually publish.
+		if !commits[obj] {
+			pass.Reportf(fi.Decl.Pos(), "%s is annotated extra:mutates but never reaches Store.Commit; drop or fix the annotation", obj.Name())
+			continue
+		}
+		// (2) reach: the publication must be able to hit the log.
+		if !logs[obj] {
+			pass.Reportf(fi.Decl.Pos(), "%s publishes store state but never reaches a WAL append (no transitive call to an extra:logs function); when WAL is configured this mutation would be unrecoverable", obj.Name())
+			continue
+		}
+		// (3) ordering: sizing must dominate the first mutation.
+		firstMut := firstMutation(fi, funcs, directMut[obj], mutates)
+		if !firstMut.IsValid() {
+			continue // mutations only through dynamic dispatch; nothing to order
+		}
+		firstSize := firstSizing(fi, funcs, logs, sizes)
+		if !firstSize.IsValid() {
+			pass.Reportf(firstMut, "%s mutates store state without any prior record sizing (no MaxRecord/PayloadSize check and no extra:logs call before the mutation); size the record first so an oversize statement is refused before it takes effect", obj.Name())
+		} else if firstSize > firstMut {
+			pass.Reportf(firstMut, "%s mutates store state before sizing its WAL record (sizing happens later at %s); there is no rollback, so the record must be built and checked against wal.MaxRecord before the first mutation", obj.Name(), prog.Fset.Position(firstSize))
+		}
+	}
+}
+
+// delegatesToLogs reports whether a body calls a different function
+// that is itself annotated extra:logs (the stmtRecord→Append shape).
+func delegatesToLogs(fi *FuncInfo, funcs map[*types.Func]*FuncInfo, self *types.Func) bool {
+	info := fi.Pkg.Info
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := StaticCallee(info, call); f != nil && f != self {
+			if ci := funcs[f]; ci != nil && ci.Ann.Logs {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commitCalls returns the positions where a function body calls a
+// method named Commit on a store-typed receiver chain.
+func commitCalls(fi *FuncInfo, stores map[*types.Named]bool) []token.Pos {
+	info := fi.Pkg.Info
+	var out []token.Pos
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Commit" {
+			return true
+		}
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal &&
+			isStoreType(s.Recv(), stores) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// firstSizingMention returns the position of the first direct sizing
+// event in a body: a use of a constant named MaxRecord, or a call to a
+// function or method named PayloadSize.
+func firstSizingMention(fi *FuncInfo) token.Pos {
+	info := fi.Pkg.Info
+	best := token.NoPos
+	better := func(p token.Pos) {
+		if !best.IsValid() || p < best {
+			best = p
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if x.Name == "MaxRecord" {
+				if _, isConst := info.Uses[x].(*types.Const); isConst {
+					better(x.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if f := StaticCallee(info, x); f != nil && f.Name() == "PayloadSize" {
+				better(x.Pos())
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// firstSizing returns the position of the first sizing event in a body:
+// a direct MaxRecord/PayloadSize mention, or a call into a callee that
+// transitively logs or sizes.
+func firstSizing(fi *FuncInfo, funcs map[*types.Func]*FuncInfo, logs, sizes map[*types.Func]bool) token.Pos {
+	info := fi.Pkg.Info
+	best := firstSizingMention(fi)
+	better := func(p token.Pos) {
+		if !best.IsValid() || p < best {
+			best = p
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := StaticCallee(info, call); f != nil && (logs[f] || sizes[f]) {
+			better(call.Pos())
+		}
+		return true
+	})
+	return best
+}
+
+// firstMutation returns the position of the first store mutation in a
+// body: a direct write, or a call to a callee that transitively mutates
+// store state.
+func firstMutation(fi *FuncInfo, funcs map[*types.Func]*FuncInfo, direct []token.Pos, mutates map[*types.Func]bool) token.Pos {
+	info := fi.Pkg.Info
+	best := token.NoPos
+	better := func(p token.Pos) {
+		if !best.IsValid() || p < best {
+			best = p
+		}
+	}
+	for _, p := range direct {
+		better(p)
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := StaticCallee(info, call); f != nil && mutates[f] {
+			better(call.Pos())
+		}
+		return true
+	})
+	return best
+}

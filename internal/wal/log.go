@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/deadlock"
 )
 
 // SyncMode selects how appended records become durable.
@@ -107,8 +109,9 @@ type Log struct {
 	wrap     func(File) File
 
 	// mu guards the append-side state: the pending buffer and LSN
-	// allocation.
-	mu        sync.Mutex // extra:lock wal.mu
+	// allocation. All three locks are deadlock wrappers so the
+	// deadlockcheck build verifies the fmu→mu→dmu order dynamically.
+	mu        deadlock.Mutex // extra:lock wal.mu
 	buf       []byte
 	bufUpto   uint64 // last LSN encoded into buf (0 = empty)
 	nextLSN   uint64
@@ -117,13 +120,13 @@ type Log struct {
 
 	// fmu guards the file-side state and serializes write+fsync+rotate
 	// so a rotation never closes a file mid-fsync.
-	fmu     sync.Mutex // extra:lock wal.fmu
+	fmu     deadlock.Mutex // extra:lock wal.fmu
 	f       File
 	segPath string
 	written int64
 
 	// dmu guards the durability watermark; cond wakes WaitDurable.
-	dmu     sync.Mutex // extra:lock wal.dmu
+	dmu     deadlock.Mutex // extra:lock wal.dmu
 	cond    *sync.Cond
 	durable uint64
 	syncErr error // sticky flush error, reported to every waiter
@@ -255,6 +258,9 @@ func Open(dir string, opts Options) (*Log, RecoverInfo, error) {
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	l.mu.SetName("wal.mu")
+	l.fmu.SetName("wal.fmu")
+	l.dmu.SetName("wal.dmu")
 	l.cond = sync.NewCond(&l.dmu)
 	l.durable = next - 1 // everything on disk (and replayed) is durable
 
@@ -333,6 +339,7 @@ func syncDir(dir string) {
 // SyncEach mode the record is written and fsynced before returning.
 //
 // extra:acquires wal.mu.W
+// extra:logs
 func (l *Log) Append(r *Record) (uint64, error) {
 	l.mu.Lock()
 	if l.closed {

@@ -159,6 +159,7 @@ func (st *Stmt) Exec(args ...any) (*Result, error) {
 // is parsed, checked or planned.
 //
 // extra:acquires db.mu.R
+// extra:snapshot
 func (st *Stmt) snapshotExec(r *ast.Retrieve, scope *paramScope, kind string, start time.Time) (*Result, error) {
 	s := st.sess
 	db := s.db

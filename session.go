@@ -262,6 +262,7 @@ func (s *Session) execWrite(stmts []ast.Statement, src, kind string, start time.
 //
 // extra:requires db.wmu.W
 // extra:acquires db.mu.W
+// extra:mutates
 func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, uint64, error) {
 	db := s.db
 	if ddlStatement(st) {
@@ -297,6 +298,7 @@ func (s *Session) runWriteStmt(es *exec.State, st ast.Statement, params *paramSc
 // entirely against the immutable snapshot.
 //
 // extra:acquires db.mu.R
+// extra:snapshot
 func (s *Session) runReadStmt(es *exec.State, st ast.Statement, params *paramScope, tr *trace.StmtTrace) (*Result, error) {
 	db := s.db
 	r, ok := st.(*ast.Retrieve)

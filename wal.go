@@ -266,6 +266,8 @@ func oidFromBytes(b []byte) oid.OID {
 // partial effects (Erred), and statements whose effects live outside
 // the store (range declarations shape later statements' meaning, so
 // replay needs them).
+//
+// extra:logs
 func (db *DB) stmtRecord(s *Session, st ast.Statement, params *paramScope) (*wal.Record, error) {
 	if db.wal == nil || sema.ReadOnly(st) {
 		return nil, nil
@@ -301,6 +303,7 @@ func (db *DB) stmtRecord(s *Session, st ast.Statement, params *paramScope) (*wal
 // and is skipped.
 //
 // extra:requires db.wmu.W
+// extra:logs
 func (db *DB) logStmt(rec *wal.Record, runErr error, effects bool) (uint64, error) {
 	if rec == nil {
 		return 0, nil

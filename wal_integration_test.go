@@ -579,6 +579,56 @@ func TestWALOversizeStatementRefusedBeforeMutation(t *testing.T) {
 	}
 }
 
+// SetRef sizes its WAL record before touching the store: a reference
+// write the log cannot hold must be refused while nothing has mutated,
+// because the engine has no rollback and an acknowledged-but-unlogged
+// mutation would vanish on recovery. The oversize record is provoked
+// with a forged target handle whose type name exceeds wal.MaxRecord —
+// setRefLocked embeds that name in the record and does not validate the
+// target before sizing.
+func TestWALOversizeSetRefRefusedBeforeMutation(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(WithWAL(dir), WithWALSync(WALSyncEach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec(`
+		define type Dept: ( dname: varchar )
+		define type Emp: ( name: varchar, dept: ref Dept )
+		create Depts : { own Dept }
+		create Emps : { own Emp }
+	`)
+	d, err := db.Insert("Depts", Attrs{"dname": "toy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.Insert("Emps", Attrs{"name": "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := Obj{id: d.id, typ: strings.Repeat("x", wal.MaxRecord+1)}
+	before := db.store.Version()
+	if err := db.SetRef(e, "dept", forged); !errors.Is(err, wal.ErrTooLarge) {
+		t.Fatalf("oversize SetRef: err = %v, want wal.ErrTooLarge", err)
+	}
+	if got := db.store.Version(); got != before {
+		t.Fatalf("refused SetRef published store state: version %d -> %d", before, got)
+	}
+	// The refusal poisons nothing: the real reference still wires up and
+	// survives recovery.
+	if err := db.SetRef(e, "dept", d); err != nil {
+		t.Fatal(err)
+	}
+	db2 := reopenWAL(t, dir)
+	defer db2.Close()
+	mustConsistent(t, db2)
+	r := db2.MustQuery(`retrieve (E.name, E.dept.dname) from E in Emps where E.name = "alice"`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("reference lost after recovery: %v", r)
+	}
+}
+
 // canonicalDump rewrites a dump so that physical storage order does not
 // affect comparison: inside the --data section, OBJ lines lose their OID
 // column and the whole section is sorted. DDL and index sections are
